@@ -1,0 +1,111 @@
+"""Ablation benchmarks for the paper's individual design choices.
+
+Each group isolates one claim from §3:
+
+* **pq-operations** — the three queue implementations under the CAPFOREST
+  access pattern (many raises near the bound, pops interleaved): §3.1.3.
+* **bounded-vs-unbounded** — one CAPFOREST pass with and without the
+  Lemma 3.1 clamp on a hub-heavy graph: §3.1.2.
+* **viecut-seed** — NOI with vs without the VieCut bound on a dense RHG
+  (the regime where the paper reports up to 4× from the seed): §3.1.1.
+* **contraction** — sequential vs chunked-parallel contraction: §3.2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.capforest import capforest
+from repro.core.noi import noi_mincut
+from repro.datastructures import make_pq
+from repro.generators import chung_lu
+from repro.graph.contract import contract_by_labels
+from repro.graph.parallel_contract import parallel_contract_by_labels
+from repro.viecut.viecut import viecut
+
+
+@pytest.fixture(scope="module")
+def hub_graph():
+    """Power-law graph with strong hubs: the bounded-queue showcase."""
+    return chung_lu(4000, 24, gamma=2.1, communities=16, mu=0.5, rng=0)
+
+
+@pytest.fixture(scope="module")
+def pq_workload():
+    """A recorded CAPFOREST-like op sequence: (vertex, priority) raises."""
+    rng = np.random.default_rng(1)
+    n = 20_000
+    ops = []
+    for _ in range(120_000):
+        ops.append((int(rng.integers(n)), int(rng.integers(0, 64))))
+    return n, ops
+
+
+@pytest.mark.parametrize("kind", ["bstack", "bqueue", "heap"])
+def test_pq_operations(benchmark, pq_workload, kind):
+    n, ops = pq_workload
+
+    def run():
+        pq = make_pq(kind, n, bound=32)
+        insert = pq.insert_or_raise
+        pop = pq.pop_max
+        for i, (v, p) in enumerate(ops):
+            insert(v, p)
+            if i % 4 == 3:
+                pop()
+        while len(pq):
+            pop()
+        return pq.stats.pops
+
+    pops = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.group = "ablation-pq-operations"
+    benchmark.extra_info["pops"] = pops
+
+
+@pytest.mark.parametrize("bounded", [True, False], ids=["bounded", "unbounded"])
+def test_capforest_bound(benchmark, hub_graph, bounded):
+    _, deg0 = hub_graph.min_weighted_degree()
+
+    def run():
+        return capforest(
+            hub_graph, deg0, pq_kind="heap", bounded=bounded, start=0
+        )
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.group = "ablation-bounded-queue"
+    benchmark.extra_info["pq_updates"] = res.pq_stats.updates
+    benchmark.extra_info["pq_skipped"] = res.pq_stats.skipped_updates
+
+
+@pytest.mark.parametrize("seeded", [True, False], ids=["viecut-seed", "no-seed"])
+def test_viecut_seed(benchmark, seeded):
+    from repro.experiments.instances import rhg_instance
+
+    g = rhg_instance(10, 5, 0)
+
+    def run():
+        rng = np.random.default_rng(0)
+        if seeded:
+            seed_cut = viecut(g, rng=rng)
+            return noi_mincut(
+                g, initial_bound=seed_cut.value, rng=rng, compute_side=False
+            )
+        return noi_mincut(g, rng=rng, compute_side=False)
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.group = "ablation-viecut-seed"
+    benchmark.extra_info["rounds"] = res.stats["rounds"]
+    benchmark.extra_info["cut"] = res.value
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_contraction(benchmark, hub_graph, workers):
+    labels = (np.arange(hub_graph.n) // 7).astype(np.int64)
+
+    def run():
+        if workers == 1:
+            return contract_by_labels(hub_graph, labels)[0]
+        return parallel_contract_by_labels(hub_graph, labels, workers=workers)[0]
+
+    g = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.group = "ablation-contraction"
+    benchmark.extra_info["contracted_n"] = g.n

@@ -1,0 +1,44 @@
+"""Figure 2 benchmarks: sequential variants on RHG graphs.
+
+Regenerates the figure's measurement (running time of each sequential
+variant on random hyperbolic graphs) at one miniature grid point per
+density; ``python -m repro.experiments.figure2`` sweeps the full grid.
+
+Expected shape (paper §4.2): on RHG graphs the bounded and unbounded heap
+variants nearly tie (few priorities exceed λ̂), bucket queues are within a
+few percent, and HO-CGKLS trails badly.
+"""
+
+import pytest
+
+from repro.experiments.harness import make_sequential_variants
+
+VARIANTS = make_sequential_variants()
+FAST_VARIANTS = [k for k in VARIANTS if k != "HO-CGKLS"]
+
+
+@pytest.mark.parametrize("variant", FAST_VARIANTS)
+def test_rhg_sparse(benchmark, rhg_small, variant):
+    fn = VARIANTS[variant]
+    result = benchmark.pedantic(fn, args=(rhg_small, 0), rounds=3, iterations=1)
+    benchmark.group = "figure2-rhg-sparse"
+    benchmark.extra_info["cut"] = result.value
+    benchmark.extra_info["n"] = rhg_small.n
+    benchmark.extra_info["m"] = rhg_small.m
+
+
+@pytest.mark.parametrize("variant", FAST_VARIANTS)
+def test_rhg_dense(benchmark, rhg_dense, variant):
+    fn = VARIANTS[variant]
+    result = benchmark.pedantic(fn, args=(rhg_dense, 0), rounds=3, iterations=1)
+    benchmark.group = "figure2-rhg-dense"
+    benchmark.extra_info["cut"] = result.value
+
+
+def test_rhg_hao_orlin(benchmark, rhg_small):
+    """The flow-based baseline, benchmarked once (it is the slow end of the
+    figure; see the paper's HO-CGKLS series)."""
+    fn = VARIANTS["HO-CGKLS"]
+    result = benchmark.pedantic(fn, args=(rhg_small, 0), rounds=1, iterations=1)
+    benchmark.group = "figure2-rhg-sparse"
+    benchmark.extra_info["cut"] = result.value

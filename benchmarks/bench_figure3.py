@@ -1,0 +1,36 @@
+"""Figure 3 benchmarks: sequential variants on web-like k-core instances.
+
+Expected shape (paper §4.2): on hub-heavy graphs the λ̂-bounded variants
+beat NOI-HNSS (priority clamping skips hub updates), BStack edges out the
+other queues sequentially, and the VieCut-seeded variant wins overall
+except where λ ≈ δ makes the seed pointless.
+"""
+
+import pytest
+
+from repro.experiments.harness import make_sequential_variants
+
+VARIANTS = make_sequential_variants()
+FAST_VARIANTS = [k for k in VARIANTS if k not in ("HO-CGKLS",)]
+
+
+@pytest.mark.parametrize("variant", FAST_VARIANTS)
+def test_web_instances(benchmark, web_suite_small, variant):
+    fn = VARIANTS[variant]
+
+    def run_all():
+        return [fn(g, 0).value for _, g in web_suite_small]
+
+    values = benchmark.pedantic(run_all, rounds=3, iterations=1)
+    benchmark.group = "figure3-web"
+    benchmark.extra_info["cuts"] = values
+    benchmark.extra_info["instances"] = [name for name, _ in web_suite_small]
+
+
+def test_web_hao_orlin(benchmark, web_suite_small):
+    fn = VARIANTS["HO-CGKLS"]
+    name, g = web_suite_small[0]
+    result = benchmark.pedantic(fn, args=(g, 0), rounds=1, iterations=1)
+    benchmark.group = "figure3-web"
+    benchmark.extra_info["cut"] = result.value
+    benchmark.extra_info["instance"] = name

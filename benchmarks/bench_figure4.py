@@ -1,0 +1,35 @@
+"""Figure 4 benchmark: the performance-profile matrix.
+
+Times the full variants × instances matrix once and records the resulting
+t_best/t_algo profile in ``extra_info`` — the exact series of the paper's
+Figure 4, at miniature scale.  Expected shape: NOIλ̂-Heap-VieCut at or near
+ratio 1.0 on most instances; HO far below.
+"""
+
+from collections import defaultdict
+
+from repro.experiments.harness import make_sequential_variants, run_matrix
+from repro.experiments.instances import rhg_instance
+from repro.utils.stats import performance_profile
+
+
+def test_performance_profile(benchmark, web_suite_small):
+    variants = make_sequential_variants()
+    instances = list(web_suite_small) + [("rhg", rhg_instance(9, 3, 0))]
+
+    def run():
+        return run_matrix(variants, instances, seed=0)
+
+    records = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.group = "figure4-profile"
+
+    per_algo: dict[str, dict[str, float]] = defaultdict(dict)
+    order: list[str] = []
+    for r in records:
+        if r.instance not in order:
+            order.append(r.instance)
+        per_algo[r.algorithm][r.instance] = r.seconds
+    profile = performance_profile(
+        {a: [per_algo[a].get(i) for i in order] for a in per_algo}
+    )
+    benchmark.extra_info["profile"] = {a: [round(x, 3) for x in v] for a, v in profile.items()}

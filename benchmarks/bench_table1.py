@@ -1,0 +1,39 @@
+"""Table 1 benchmark: the instance pipeline (k-core → component → λ).
+
+Times the full pipeline for one world and records the resulting table rows
+in ``extra_info``; ``python -m repro.experiments.table1`` prints the
+complete table.
+"""
+
+from repro.core.api import minimum_cut
+from repro.generators.worlds import DEFAULT_WORLDS, build_instances
+
+
+def test_table1_pipeline(benchmark):
+    spec = DEFAULT_WORLDS[2]  # uk-web-like
+
+    def run():
+        rows = []
+        for inst in build_instances(spec, scale=0.25):
+            lam = minimum_cut(inst.graph, algorithm="noi-viecut", rng=0, compute_side=False).value
+            delta = int(inst.graph.weighted_degrees().min())
+            rows.append((inst.k, inst.n, inst.m, lam, delta))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.group = "table1-pipeline"
+    benchmark.extra_info["rows"] = rows
+    assert rows, "pipeline produced no instances"
+    for k, n, m, lam, delta in rows:
+        assert lam <= delta
+
+
+def test_kcore_decomposition(benchmark):
+    """The Batagelj–Zaversnik O(m) peeling on the largest world."""
+    from repro.generators.worlds import build_world
+    from repro.graph.kcore import core_numbers
+
+    g = build_world(DEFAULT_WORLDS[4], scale=0.5)  # gsh-host-like
+    cores = benchmark.pedantic(core_numbers, args=(g,), rounds=2, iterations=1)
+    benchmark.group = "table1-pipeline"
+    benchmark.extra_info["degeneracy"] = int(cores.max())

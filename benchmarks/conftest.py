@@ -1,0 +1,44 @@
+"""Session-scoped instance fixtures shared by the benchmark files.
+
+Benchmarks use miniature instances (the experiment scripts in
+``repro.experiments`` regenerate the full-scale series); every graph is
+generated once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.instances import rhg_instance, web_instances
+
+
+@pytest.fixture(scope="session")
+def rhg_small():
+    """RHG n=2^10, deg≈2^4 — one Figure 2 grid point."""
+    return rhg_instance(10, 4, 0)
+
+
+@pytest.fixture(scope="session")
+def rhg_dense():
+    """RHG n=2^10, deg≈2^5 — the denser regime where VieCut seeding wins."""
+    return rhg_instance(10, 5, 0)
+
+
+@pytest.fixture(scope="session")
+def web_suite_small():
+    """Three representative web-like k-core instances."""
+    insts = web_instances(scale=0.25)
+    picked = {}
+    for name, g in insts:
+        world = name.rsplit("-", 1)[0]
+        if world not in picked:
+            picked[world] = (name, g)
+    return list(picked.values())[:3]
+
+
+@pytest.fixture(scope="session")
+def web_largest():
+    """The largest small-scale suite instance (Figure 5 input)."""
+    from repro.experiments.instances import largest_web_instances
+
+    return largest_web_instances(1, scale=0.35)[0]

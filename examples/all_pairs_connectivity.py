@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""All-pairs edge connectivity via a Gomory–Hu cut tree.
+
+Gomory & Hu (paper §2.2) showed n-1 max-flow computations suffice to answer
+*every* pairwise minimum-cut query — the historical route to global minimum
+cuts that NOI and this paper's system replaced for the global problem, but
+still the right tool when many pairwise queries are needed.
+
+This example builds a small organization network, constructs the cut tree,
+answers pairwise queries in O(tree depth), and cross-checks the lightest
+tree edge against the paper's solvers.
+
+Run:  python examples/all_pairs_connectivity.py
+"""
+
+from repro import minimum_cut
+from repro.baselines import gomory_hu_tree
+from repro.generators.worlds import WorldSpec, build_instances
+
+spec = WorldSpec(
+    "org-network", "chung_lu", 400, 10.0, (3,), gamma=2.5,
+    communities=6, mu=0.7, seed=9, pod_attach=(2,),
+)
+inst = build_instances(spec)[0]
+graph = inst.graph
+print(f"network: n={graph.n}, m={graph.m}")
+
+tree = gomory_hu_tree(graph)
+print(f"built Gomory–Hu tree with {graph.n - 1} max-flow computations")
+
+# the lightest tree edge is the global minimum cut
+value, vertex = tree.global_min_cut()
+print(f"\nglobal minimum cut from the tree : {value}")
+
+reference = minimum_cut(graph, rng=0)
+print(f"global minimum cut from NOI       : {reference.value}")
+assert value == reference.value
+
+# pairwise queries are now tree-path minima — no more flow computations
+import itertools
+
+pairs = list(itertools.islice(itertools.combinations(range(graph.n), 2), 6))
+print("\nsample pairwise connectivities λ(u, v):")
+for u, v in pairs:
+    print(f"  λ({u:3d}, {v:3d}) = {tree.min_cut_value(u, v)}")
+
+# connectivity histogram over a sample of pairs: how uniform is the network?
+import numpy as np
+
+rng = np.random.default_rng(0)
+sample = [
+    tree.min_cut_value(int(a), int(b))
+    for a, b in rng.integers(0, graph.n, size=(300, 2))
+    if a != b
+]
+values, counts = np.unique(sample, return_counts=True)
+print("\npairwise connectivity distribution (300 sampled pairs):")
+for val, cnt in zip(values, counts):
+    print(f"  λ = {val:3d}: {'#' * max(1, cnt // 4)} ({cnt})")
+
+print("\nOK")

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Parallel CAPFOREST scaling — Figure 5 in miniature.
+
+Runs ParCut at increasing worker counts on one web-like k-core instance and
+reports wall-clock time (process executor: real parallelism) and the
+modeled speedup (total CAPFOREST work / busiest worker's work — the load
+balance the paper's near-linear region growth delivers).
+
+Run:  python examples/parallel_scaling.py
+"""
+
+import time
+
+from repro.core import parallel_mincut
+from repro.core.noi import noi_mincut
+from repro.generators.worlds import WorldSpec, build_instances
+
+spec = WorldSpec(
+    "scaling-demo", "chung_lu", 6000, 24.0, (6,), gamma=2.4,
+    communities=32, mu=0.6, seed=3, pod_attach=(1, 2),
+)
+inst = build_instances(spec)[0]
+graph = inst.graph
+print(f"instance: {inst.name}  n={graph.n} m={graph.m}")
+
+t0 = time.perf_counter()
+seq = noi_mincut(graph, pq_kind="heap", bounded=True, rng=0, compute_side=False)
+t_seq = time.perf_counter() - t0
+print(f"sequential NOIλ̂-Heap: {t_seq:.3f}s, cut={seq.value}\n")
+
+print(f"{'p':>3} {'executor':>10} {'wall':>8} {'modeled_speedup':>16} {'cut':>5}")
+for p in (1, 2, 4):
+    for executor in ("serial", "processes"):
+        t0 = time.perf_counter()
+        res = parallel_mincut(
+            graph,
+            workers=p,
+            pq_kind="bqueue",  # the paper's best parallel queue
+            executor=executor,
+            rng=0,
+            compute_side=False,
+        )
+        wall = time.perf_counter() - t0
+        assert res.value == seq.value
+        print(f"{p:>3} {executor:>10} {wall:>7.3f}s "
+              f"{res.stats.get('modeled_speedup', 1.0):>16.2f} {res.value:>5}")
+
+print("\nThe modeled speedup tracks p (balanced region growth); wall-clock "
+      "speedup\nrequires the process executor and large enough instances to "
+      "amortize fork\noverheads — exactly the C++-vs-Python substitution "
+      "documented in DESIGN.md.")
+print("OK")

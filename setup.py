@@ -1,0 +1,16 @@
+"""Legacy setup shim.
+
+``pip install -e .`` needs the ``wheel`` package (setuptools < 70 shells
+out to ``bdist_wheel`` even for metadata); on the fully offline machines
+this project targets, ``wheel`` may be unavailable.  This shim keeps two
+fallbacks working without it:
+
+    python setup.py develop        # editable install, no wheel required
+    python setup.py install
+
+All project metadata lives in ``pyproject.toml``; this file adds nothing.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — shared-memory exact minimum cuts.
+
+A from-scratch Python reproduction of Henzinger, Noe & Schulz,
+"Shared-memory Exact Minimum Cuts" (IPDPS 2019): the NOI/CAPFOREST exact
+contraction framework with bounded priority queues, VieCut inexact
+pre-seeding, parallel CAPFOREST, and the full ParCut system — plus the
+baselines the paper evaluates against (Hao–Orlin, Stoer–Wagner,
+Karger–Stein, Matula).
+
+Quickstart
+----------
+>>> from repro import GraphBuilder, minimum_cut
+>>> g = (GraphBuilder(4).add_edge(0, 1, 3).add_edge(1, 2, 1)
+...      .add_edge(2, 3, 3).add_edge(3, 0, 1).build())
+>>> minimum_cut(g).value
+2
+"""
+
+from .graph import Graph, GraphBuilder, from_edges
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "from_edges",
+    "minimum_cut",
+    "MinCutResult",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` cheap and avoid import cycles while
+    # the solver stack (core/api) pulls in most of the package.
+    if name in ("minimum_cut", "MinCutResult", "ALGORITHMS"):
+        from .core import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

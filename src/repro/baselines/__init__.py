@@ -1,0 +1,22 @@
+"""Baseline algorithms the paper evaluates against (plus extensions)."""
+
+from .brute_force import brute_force_mincut
+from .gomory_hu import GomoryHuTree, gomory_hu_tree
+from .hao_orlin import hao_orlin
+from .karger_stein import karger_stein
+from .matula import matula_approx
+from .push_relabel import MaxFlowResult, max_flow, reverse_arcs
+from .stoer_wagner import stoer_wagner
+
+__all__ = [
+    "brute_force_mincut",
+    "GomoryHuTree",
+    "gomory_hu_tree",
+    "hao_orlin",
+    "karger_stein",
+    "matula_approx",
+    "MaxFlowResult",
+    "max_flow",
+    "reverse_arcs",
+    "stoer_wagner",
+]

@@ -1,0 +1,247 @@
+"""Hao–Orlin global minimum cut (baseline ``HO-CGKLS``; paper §2.2).
+
+Hao & Orlin [12] compute the global minimum cut with the work of roughly
+*one* push-relabel run instead of ``n - 1``: a fixed source set ``X``
+absorbs one sink per phase, distance labels persist across phases, and a
+system of *dormant sets* (a generalisation of the gap heuristic) parks
+vertices that are provably separated from the current sink.  The candidate
+cut of a phase is the sink's excess when no active vertex remains; the
+minimum over all phases is λ(G).
+
+Implementation notes
+--------------------
+* The awake/dormant partition is a stack: ``dormant[0]`` is the source set
+  ``X``; a relabel that would strand the only awake vertex at its level
+  pushes every awake vertex at that level or above onto a new dormant set,
+  as does a relabel with no residual arc to an awake vertex.
+* ``X`` after ``k`` phases is ``{s, t_1, …, t_k}`` in sink order, so the
+  winning phase is remembered as an index and the certified cut *side* is
+  recovered afterwards with one clean max-flow between the contracted
+  ``X`` and the winning sink (value asserted equal).
+* Heights persist; a merged sink gets height ``n`` and its residual arcs
+  are saturated, exactly as in the paper's description ("they implicitly
+  merge the source and sink to form a new sink and find a new source" —
+  §2.2 told from the flipped perspective).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import MinCutResult
+from ..graph.components import connected_components
+from ..graph.contract import contract_by_labels
+from ..graph.csr import Graph
+from .push_relabel import max_flow, reverse_arcs
+
+
+def hao_orlin(
+    graph: Graph,
+    *,
+    source: int = 0,
+    compute_side: bool = True,
+    rng: np.random.Generator | int | None = None,
+) -> MinCutResult:
+    """Exact global minimum cut via Hao–Orlin.
+
+    ``rng`` is accepted for interface symmetry (selects nothing — the
+    algorithm is deterministic given ``source``).
+    """
+    n = graph.n
+    if n < 2:
+        raise ValueError(f"minimum cut requires at least 2 vertices, got {n}")
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range")
+
+    stats: dict = {"phases": 0, "pushes": 0, "relabels": 0, "dormant_events": 0}
+    ncomp, comp_labels = connected_components(graph)
+    if ncomp > 1:
+        side = comp_labels == 0 if compute_side else None
+        return MinCutResult(0, side, n, "hao-orlin", stats)
+
+    rev = reverse_arcs(graph)
+    xadj = graph.xadj.tolist()
+    head = graph.adjncy.tolist()
+    cap = graph.adjwgt.tolist()
+    rev_l = rev.tolist()
+    flow = [0] * len(head)
+    excess = [0] * n
+    height = [0] * n
+    cur = list(xadj[:-1])
+
+    AWAKE = -1
+    dormant_id = [AWAKE] * n
+    dormant: list[list[int]] = [[source]]
+    dormant_id[source] = 0
+    height[source] = n
+    awake_at_height = [0] * (2 * n + 1)
+    for v in range(n):
+        if v != source:
+            awake_at_height[0] += 1
+
+    # active bookkeeping: highest-label buckets over awake non-sink vertices
+    buckets: list[list[int]] = [[] for _ in range(2 * n + 1)]
+    in_bucket = [False] * n
+    highest = 0
+
+    sink_order: list[int] = []
+    best_value: int | None = None
+    best_phase = -1
+
+    def push(i: int, delta: int) -> None:
+        flow[i] += delta
+        flow[rev_l[i]] -= delta
+        excess[head[i]] += delta
+        stats["pushes"] += 1
+
+    def saturate_out(v: int) -> None:
+        for i in range(xadj[v], xadj[v + 1]):
+            w = head[i]
+            delta = cap[i] - flow[i]
+            if delta > 0 and dormant_id[w] != 0:
+                push(i, delta)
+                excess[v] -= delta
+
+    def activate(v: int, t: int) -> None:
+        nonlocal highest
+        if dormant_id[v] == AWAKE and v != t and excess[v] > 0 and not in_bucket[v]:
+            in_bucket[v] = True
+            buckets[height[v]].append(v)
+            if height[v] > highest:
+                highest = height[v]
+
+    def make_dormant(vertices: list[int]) -> None:
+        stats["dormant_events"] += 1
+        idx = len(dormant)
+        dormant.append(list(vertices))
+        for v in vertices:
+            dormant_id[v] = idx
+            awake_at_height[height[v]] -= 1
+
+    saturate_out(source)
+
+    t = min((v for v in range(n) if dormant_id[v] == AWAKE), key=lambda v: height[v])
+    for v in range(n):
+        activate(v, t)
+
+    for _phase in range(n - 1):
+        stats["phases"] += 1
+        # ---- discharge all active awake vertices ----
+        while highest >= 0:
+            bucket = buckets[highest]
+            if not bucket:
+                highest -= 1
+                continue
+            v = bucket.pop()
+            in_bucket[v] = False
+            if dormant_id[v] != AWAKE or v == t or excess[v] == 0:
+                continue
+            if height[v] != highest:
+                activate(v, t)
+                continue
+            while excess[v] > 0 and dormant_id[v] == AWAKE:
+                if cur[v] == xadj[v + 1]:
+                    # ---- relabel v ----
+                    stats["relabels"] += 1
+                    hv = height[v]
+                    if awake_at_height[hv] == 1:
+                        # v is alone at its level: all awake vertices at or
+                        # above hv are cut off from the sink -> dormant
+                        group = [
+                            u
+                            for u in range(n)
+                            if dormant_id[u] == AWAKE and height[u] >= hv
+                        ]
+                        make_dormant(group)
+                        break
+                    min_h = None
+                    for i in range(xadj[v], xadj[v + 1]):
+                        w = head[i]
+                        if cap[i] - flow[i] > 0 and dormant_id[w] == AWAKE:
+                            if min_h is None or height[w] < min_h:
+                                min_h = height[w]
+                    if min_h is None:
+                        make_dormant([v])
+                        break
+                    awake_at_height[hv] -= 1
+                    height[v] = min_h + 1
+                    awake_at_height[height[v]] += 1
+                    cur[v] = xadj[v]
+                    continue
+                i = cur[v]
+                w = head[i]
+                residual = cap[i] - flow[i]
+                if (
+                    residual > 0
+                    and dormant_id[w] == AWAKE
+                    and height[v] == height[w] + 1
+                ):
+                    delta = residual if residual < excess[v] else excess[v]
+                    push(i, delta)
+                    excess[v] -= delta
+                    activate(w, t)
+                else:
+                    cur[v] += 1
+            if excess[v] > 0 and dormant_id[v] == AWAKE:
+                activate(v, t)
+
+        # ---- phase ends: candidate cut is the sink's excess ----
+        sink_order.append(t)
+        if best_value is None or excess[t] < best_value:
+            best_value = excess[t]
+            best_phase = len(sink_order) - 1
+
+        # ---- t joins the source set X = dormant[0] ----
+        awake_at_height[height[t]] -= 1
+        dormant_id[t] = 0
+        dormant[0].append(t)
+        height[t] = n
+        saturate_out(t)
+
+        if len(dormant[0]) == n:
+            break
+
+        # wake dormant sets until an awake vertex exists
+        while not any(dormant_id[v] == AWAKE for v in range(n)):
+            group = dormant.pop()
+            for v in group:
+                dormant_id[v] = AWAKE
+                awake_at_height[height[v]] += 1
+
+        t = min(
+            (v for v in range(n) if dormant_id[v] == AWAKE), key=lambda v: height[v]
+        )
+        highest = 0
+        for v in range(n):
+            cur[v] = xadj[v]
+            activate(v, t)
+
+    assert best_value is not None
+    side = None
+    if compute_side:
+        side = _recover_side(graph, source, sink_order, best_phase, best_value)
+    return MinCutResult(int(best_value), side, n, "hao-orlin", stats)
+
+
+def _recover_side(
+    graph: Graph, source: int, sink_order: list[int], best_phase: int, best_value: int
+) -> np.ndarray:
+    """Certified side for the winning (X, t) pair via one clean max-flow."""
+    n = graph.n
+    x_set = [source] + sink_order[:best_phase]
+    t = sink_order[best_phase]
+    labels = np.arange(n, dtype=np.int64)
+    if len(x_set) > 1:
+        # contract X into one supervertex, keep labels dense
+        labels[x_set] = n  # temporary sentinel above all ids
+        _, dense = np.unique(labels, return_inverse=True)
+        labels = dense.astype(np.int64)
+        contracted, _ = contract_by_labels(graph, labels)
+        s_id = int(labels[source])
+        t_id = int(labels[t])
+        res = max_flow(contracted, s_id, t_id)
+        assert res.value == best_value, "HO phase value must match the X-t max flow"
+        return res.source_side[labels]
+    res = max_flow(graph, source, t)
+    assert res.value == best_value, "HO phase value must match the s-t max flow"
+    return res.source_side

@@ -1,0 +1,109 @@
+"""Stoer–Wagner minimum cut (baseline; paper §2.2).
+
+The simpler cousin of NOI: ``n - 1`` maximum-adjacency phases, each ending
+with the "cut of the phase" — the trivial cut of the last-scanned vertex,
+which the Stoer–Wagner theorem shows is a minimum cut separating the last
+two scanned vertices.  Those two are then merged and the best phase cut
+over all phases is the minimum cut.  Same O(nm + n² log n) bound as NOI,
+but no certificate-based bulk contraction, which is why experiments (Jünger
+et al. [15], and this paper) find it much slower in practice.
+
+Implemented over dict-of-dict adjacency with an addressable heap per phase;
+merged supervertices carry their original-vertex sets so the winning phase
+yields a certified side mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datastructures.binary_heap import HeapPQ
+from ..graph.components import connected_components
+from ..graph.csr import Graph
+from ..core.result import MinCutResult
+
+
+def stoer_wagner(
+    graph: Graph,
+    *,
+    rng: np.random.Generator | int | None = None,
+    compute_side: bool = True,
+) -> MinCutResult:
+    """Exact minimum cut via Stoer–Wagner.
+
+    ``rng`` only selects the (irrelevant for correctness) phase start
+    vertex, kept for interface symmetry with the other solvers.
+    """
+    n = graph.n
+    if n < 2:
+        raise ValueError(f"minimum cut requires at least 2 vertices, got {n}")
+
+    stats: dict = {"phases": 0}
+    ncomp, comp_labels = connected_components(graph)
+    if ncomp > 1:
+        side = comp_labels == 0 if compute_side else None
+        return MinCutResult(0, side, n, "stoer-wagner", stats)
+
+    # mutable adjacency: supervertex -> {neighbour: weight}
+    adj: dict[int, dict[int, int]] = {v: {} for v in range(n)}
+    src = graph.arc_sources()
+    for u, v, w in zip(src.tolist(), graph.adjncy.tolist(), graph.adjwgt.tolist()):
+        adj[u][v] = w
+    members: dict[int, list[int]] = {v: [v] for v in range(n)}
+
+    best_value: int | None = None
+    best_members: list[int] | None = None
+
+    while len(adj) > 1:
+        stats["phases"] += 1
+        order, cut_of_phase = _ma_phase(adj, n)
+        t = order[-1]
+        if best_value is None or cut_of_phase < best_value:
+            best_value = cut_of_phase
+            best_members = list(members[t])
+        s = order[-2]
+        _merge(adj, members, s, t)
+
+    side = None
+    if compute_side:
+        side = np.zeros(n, dtype=bool)
+        side[best_members] = True
+    assert best_value is not None
+    return MinCutResult(int(best_value), side, n, "stoer-wagner", stats)
+
+
+def _ma_phase(adj: dict[int, dict[int, int]], n: int) -> tuple[list[int], int]:
+    """One maximum-adjacency phase; returns (scan order, cut of the phase)."""
+    start = next(iter(adj))
+    pq = HeapPQ(n)
+    in_a = set()
+    order: list[int] = []
+    last_key = 0
+    pq.insert_or_raise(start, 0)
+    while len(pq):
+        v, key = pq.pop_max()
+        in_a.add(v)
+        order.append(v)
+        last_key = key
+        for u, w in adj[v].items():
+            if u not in in_a:
+                if u in pq:
+                    pq.insert_or_raise(u, pq.key_of(u) + w)
+                else:
+                    pq.insert_or_raise(u, w)
+    # cut of the phase = connectivity of the last vertex to the rest = its key
+    return order, last_key
+
+
+def _merge(adj: dict[int, dict[int, int]], members: dict[int, list[int]], s: int, t: int) -> None:
+    """Contract t into s in the mutable adjacency."""
+    for u, w in adj[t].items():
+        if u == s:
+            continue
+        adj[u].pop(t, None)
+        adj[u][s] = adj[u].get(s, 0) + w
+        adj[s][u] = adj[s].get(u, 0) + w
+    adj[s].pop(t, None)
+    del adj[t]
+    members[s].extend(members[t])
+    del members[t]

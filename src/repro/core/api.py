@@ -1,0 +1,156 @@
+"""Public facade: :func:`minimum_cut` and the algorithm registry.
+
+Every solver in the package — the paper's contributions and the baselines it
+evaluates against — is reachable through one entry point::
+
+    from repro import minimum_cut
+    result = minimum_cut(graph)                       # engineered default
+    result = minimum_cut(graph, algorithm="hao-orlin")  # a baseline
+    result = minimum_cut(graph, algorithm="parcut", workers=8)
+
+Algorithm names (paper variant in brackets):
+
+=================  ==========================================================
+``"noi"``          NOI with bounded heap queue [NOIλ̂-Heap]; kwargs:
+                   ``pq_kind``, ``bounded``, ``initial_bound``
+``"noi-hnss"``     NOI, unbounded heap [NOI-HNSS baseline]
+``"noi-viecut"``   VieCut seed + bounded NOI [NOIλ̂-Heap-VieCut] — the
+                   paper's fastest sequential configuration and the default
+``"parcut"``       Parallel system, Algorithm 2 [ParCutλ̂-BQueue]; kwargs:
+                   ``workers``, ``executor``, ``pq_kind``, ``use_viecut``
+``"viecut"``       Inexact multilevel bound (fast, usually exact, no
+                   guarantee)
+``"stoer-wagner"`` Stoer–Wagner baseline
+``"hao-orlin"``    Hao–Orlin push-relabel baseline [HO-CGKLS]
+``"karger-stein"`` Randomized recursive contraction (Monte Carlo)
+``"matula"``       Matula (2+ε)-approximation (paper §5 future work)
+=================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from ..graph.csr import Graph
+from .result import MinCutResult
+
+
+def _noi(graph: Graph, **kw) -> MinCutResult:
+    from .noi import noi_mincut
+
+    return noi_mincut(graph, **kw)
+
+
+def _noi_hnss(graph: Graph, **kw) -> MinCutResult:
+    from .noi import noi_mincut
+
+    kw.setdefault("bounded", False)
+    kw.setdefault("pq_kind", "heap")
+    return noi_mincut(graph, **kw)
+
+
+def _noi_viecut(graph: Graph, **kw) -> MinCutResult:
+    from ..viecut.viecut import viecut
+    from .noi import noi_mincut
+
+    rng = kw.pop("rng", None)
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    compute_side = kw.get("compute_side", True)
+    seed = viecut(graph, rng=rng)
+    res = noi_mincut(
+        graph,
+        initial_bound=seed.value,
+        initial_side=seed.side if compute_side else None,
+        rng=rng,
+        **kw,
+    )
+    res.stats["viecut_value"] = seed.value
+    return res
+
+
+def _parcut(graph: Graph, **kw) -> MinCutResult:
+    from .mincut import parallel_mincut
+
+    return parallel_mincut(graph, **kw)
+
+
+def _viecut(graph: Graph, **kw) -> MinCutResult:
+    from ..viecut.viecut import viecut
+
+    kw.pop("compute_side", None)
+    return viecut(graph, **kw)
+
+
+def _stoer_wagner(graph: Graph, **kw) -> MinCutResult:
+    from ..baselines.stoer_wagner import stoer_wagner
+
+    return stoer_wagner(graph, **kw)
+
+
+def _hao_orlin(graph: Graph, **kw) -> MinCutResult:
+    from ..baselines.hao_orlin import hao_orlin
+
+    return hao_orlin(graph, **kw)
+
+
+def _karger_stein(graph: Graph, **kw) -> MinCutResult:
+    from ..baselines.karger_stein import karger_stein
+
+    return karger_stein(graph, **kw)
+
+
+def _matula(graph: Graph, **kw) -> MinCutResult:
+    from ..baselines.matula import matula_approx
+
+    return matula_approx(graph, **kw)
+
+
+ALGORITHMS: dict[str, Callable[..., MinCutResult]] = {
+    "noi": _noi,
+    "noi-hnss": _noi_hnss,
+    "noi-viecut": _noi_viecut,
+    "parcut": _parcut,
+    "viecut": _viecut,
+    "stoer-wagner": _stoer_wagner,
+    "hao-orlin": _hao_orlin,
+    "karger-stein": _karger_stein,
+    "matula": _matula,
+}
+
+#: algorithms guaranteed to return the exact minimum cut
+EXACT_ALGORITHMS = ("noi", "noi-hnss", "noi-viecut", "parcut", "stoer-wagner", "hao-orlin")
+
+
+def minimum_cut(graph: Graph, algorithm: str = "noi-viecut", **kwargs) -> MinCutResult:
+    """Compute a minimum cut of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Weighted undirected graph with at least two vertices.  Disconnected
+        graphs return a cut of value 0.
+    algorithm:
+        Registry name (see module docstring).  The default,
+        ``"noi-viecut"``, is the configuration the paper finds fastest
+        sequentially on almost all instances.
+    **kwargs:
+        Forwarded to the selected solver (e.g. ``rng=...`` for
+        reproducibility, ``pq_kind=...``, ``workers=...``).
+
+    Returns
+    -------
+    MinCutResult
+        For algorithms in :data:`EXACT_ALGORITHMS` the value is the exact
+        minimum cut; ``viecut``/``matula`` return certified upper bounds
+        and ``karger-stein`` is correct with high probability.
+    """
+    try:
+        solver = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+        ) from None
+    return solver(graph, **kwargs)

@@ -1,0 +1,127 @@
+"""Connectivity applications built on the minimum-cut solver.
+
+Two consumers of exact minimum cuts that the paper's introduction motivates
+(network reliability, subroutine use):
+
+* :func:`edge_connectivity` — λ(G) as a number (the "edge connectivity"
+  framing of §1).
+* :func:`k_edge_connected_subgraphs` — maximal vertex sets that cannot be
+  separated by fewer than k edge deletions: recursively split the graph
+  along any cut of capacity < k found by the exact solver.  This is the
+  network-reliability decomposition: components that survive any k-1 link
+  failures.
+* :func:`enumerate_minimum_cuts` — *all* minimum cuts of a small graph
+  (exhaustive; the substrate for studying cut structure, and the ground
+  truth for tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.components import connected_components, induced_subgraph
+from ..graph.csr import Graph
+from .api import minimum_cut
+
+
+def edge_connectivity(graph: Graph, **kwargs) -> int:
+    """λ(G): the weight of a minimum cut (0 for disconnected graphs)."""
+    if graph.n < 2:
+        raise ValueError("edge connectivity needs at least 2 vertices")
+    kwargs.setdefault("compute_side", False)
+    return minimum_cut(graph, **kwargs).value
+
+
+def k_edge_connected_subgraphs(
+    graph: Graph, k: int, *, rng: np.random.Generator | int | None = None
+) -> list[list[int]]:
+    """Maximal vertex groups whose *induced subgraph* is k-edge-connected
+    (capacity semantics on weighted graphs: removing less than k capacity
+    cannot disconnect a group's induced subgraph).
+
+    Recursively: if the (sub)graph has a cut of capacity < k, split along it
+    and recurse on both sides; otherwise the whole component is one group —
+    the classic decomposition, networkx's ``k_edge_subgraphs`` semantics.
+    Singleton vertices are k-edge-connected by convention.
+
+    Note this is *subgraph* connectivity: for connectivity measured in the
+    original graph (``k_edge_components`` semantics) the groups can be
+    coarser, because two vertices may be k-connected through paths that
+    leave their group.
+
+    Returns the groups as sorted vertex lists, sorted by first member.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+
+    result: list[list[int]] = []
+    # stack of (subgraph, original ids)
+    stack: list[tuple[Graph, np.ndarray]] = [(graph, np.arange(graph.n, dtype=np.int64))]
+    while stack:
+        g, ids = stack.pop()
+        if g.n == 1:
+            result.append([int(ids[0])])
+            continue
+        ncomp, comp_labels = connected_components(g)
+        if ncomp > 1:
+            for c in range(ncomp):
+                members = np.flatnonzero(comp_labels == c)
+                sub, sub_ids = induced_subgraph(g, members)
+                stack.append((sub, ids[sub_ids]))
+            continue
+        res = minimum_cut(g, algorithm="noi", rng=rng)
+        if res.value >= k:
+            result.append(sorted(int(v) for v in ids))
+            continue
+        side = res.side
+        for mask in (side, ~side):
+            members = np.flatnonzero(mask)
+            sub, sub_ids = induced_subgraph(g, members)
+            stack.append((sub, ids[sub_ids]))
+    result.sort(key=lambda group: group[0])
+    return result
+
+
+def enumerate_minimum_cuts(graph: Graph) -> tuple[int, list[np.ndarray]]:
+    """All minimum cuts of a small graph (``n <= 22``), exhaustively.
+
+    Returns ``(λ, sides)`` where each side is the boolean mask of the cut
+    side *not* containing vertex ``n-1`` (one canonical representative per
+    cut, so complementary masks are not repeated).
+    """
+    n = graph.n
+    if n < 2:
+        raise ValueError("minimum cut requires at least 2 vertices")
+    if n > 22:
+        raise ValueError(f"exhaustive enumeration limited to n <= 22, got {n}")
+
+    W = np.zeros((n, n), dtype=np.int64)
+    src = graph.arc_sources()
+    W[src, graph.adjncy] = graph.adjwgt
+    powers = 1 << np.arange(n, dtype=np.int64)
+
+    best: int | None = None
+    sides: list[np.ndarray] = []
+    for subset in range(1, 1 << (n - 1)):
+        mask = (subset & powers) != 0
+        value = int(W[np.ix_(mask, ~mask)].sum())
+        if best is None or value < best:
+            best = value
+            sides = [mask]
+        elif value == best:
+            sides.append(mask)
+    assert best is not None
+    return best, sides
+
+
+def is_k_edge_connected(graph: Graph, k: int, **kwargs) -> bool:
+    """True iff every cut has capacity at least ``k``."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k == 0:
+        return True
+    if graph.n < 2:
+        return True
+    return edge_connectivity(graph, **kwargs) >= k

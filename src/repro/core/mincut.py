@@ -1,0 +1,175 @@
+"""ParCut — the paper's full parallel exact minimum-cut system (Algorithm 2).
+
+::
+
+    λ̂  ← VieCut(G);  G_C ← G
+    while G_C has more than 2 vertices:
+        λ̂ ← Parallel CAPFOREST(G_C, λ̂)
+        if no edges marked contractible:
+            λ̂ ← CAPFOREST(G_C, λ̂)          # sequential fallback
+        G_C, λ̂ ← Parallel Graph Contract(G_C)
+    return λ̂
+
+plus the same Stoer–Wagner-phase progress guarantee used by
+:func:`~repro.core.noi.noi_mincut` for the (rare) case where even the
+sequential fallback marks nothing under an externally tightened bound.
+
+The paper's variant names map to parameters as
+``ParCutλ̂-BStack/BQueue/Heap`` ↔ ``pq_kind=...`` with ``use_viecut=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.components import connected_components
+from ..graph.contract import compose_labels
+from ..graph.csr import Graph
+from ..graph.parallel_contract import parallel_contract_by_labels
+from .capforest import capforest
+from .noi import _absorb
+from .parallel_capforest import parallel_capforest
+from .result import MinCutResult
+
+
+def parallel_mincut(
+    graph: Graph,
+    *,
+    workers: int = 4,
+    pq_kind: str = "bqueue",
+    executor: str = "serial",
+    use_viecut: bool = True,
+    rng: np.random.Generator | int | None = None,
+    compute_side: bool = True,
+) -> MinCutResult:
+    """Exact minimum cut via Algorithm 2 (ParCut).
+
+    Parameters
+    ----------
+    workers:
+        Number of parallel CAPFOREST regions ``p`` (and contraction chunks).
+    pq_kind:
+        Worker priority queue; the paper finds ``"bqueue"`` best in parallel.
+    executor:
+        ``"serial"`` (deterministic round-robin), ``"threads"`` or
+        ``"processes"`` — see :mod:`~repro.core.parallel_capforest`.
+    use_viecut:
+        Seed ``λ̂`` with VieCut (Algorithm 2 line 1).  Disable to measure
+        the contribution of the seed (ablation).
+    """
+    n = graph.n
+    if n < 2:
+        raise ValueError(f"minimum cut requires at least 2 vertices, got {n}")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+
+    stats: dict = {
+        "rounds": 0,
+        "seq_fallback_rounds": 0,
+        "sw_fallback_rounds": 0,
+        "total_work": 0,
+        "makespan_work": 0,
+        "edges_scanned": 0,
+        "vertices_scanned": 0,
+        "pq_pushes": 0,
+        "pq_updates": 0,
+        "pq_skipped_updates": 0,
+        "pq_pops": 0,
+        "viecut_value": None,
+    }
+    algo = f"parcut-{pq_kind}" + ("" if use_viecut else "-noseed")
+
+    ncomp, comp_labels = connected_components(graph)
+    if ncomp > 1:
+        side = comp_labels == 0 if compute_side else None
+        return MinCutResult(0, side, n, algo, stats)
+
+    v0, deg0 = graph.min_weighted_degree()
+    best_value = deg0
+    best_side: np.ndarray | None = None
+    if compute_side:
+        best_side = np.zeros(n, dtype=bool)
+        best_side[v0] = True
+
+    if use_viecut:
+        from ..viecut.viecut import viecut
+
+        # Algorithm 2 line 1 — the paper runs VieCut with all threads
+        vc_workers = workers if executor in ("threads", "processes") else 1
+        seed = viecut(graph, rng=rng, workers=vc_workers)
+        stats["viecut_value"] = seed.value
+        if seed.value < best_value:
+            best_value = seed.value
+            if compute_side:
+                best_side = seed.side.copy()
+
+    lam = best_value
+    labels = np.arange(n, dtype=np.int64)
+    g = graph
+
+    while g.n > 2 and lam > 0:
+        pres = parallel_capforest(
+            g, lam, workers=workers, pq_kind=pq_kind, executor=executor, rng=rng
+        )
+        stats["rounds"] += 1
+        stats["total_work"] += pres.total_work
+        stats["makespan_work"] += pres.makespan_work
+        for rep in pres.workers:
+            stats["edges_scanned"] += rep.edges_scanned
+            stats["vertices_scanned"] += rep.vertices_scanned
+            stats["pq_pushes"] += rep.pq_stats.pushes
+            stats["pq_updates"] += rep.pq_stats.updates
+            stats["pq_skipped_updates"] += rep.pq_stats.skipped_updates
+            stats["pq_pops"] += rep.pq_stats.pops
+        uf = pres.uf
+        if pres.lambda_hat < best_value:
+            best_value = pres.lambda_hat
+            lam = pres.lambda_hat
+            if compute_side and pres.best_side is not None:
+                best_side = pres.best_side[labels]
+
+        if pres.n_marked == 0:
+            # Algorithm 2 line 5: one sequential CAPFOREST pass
+            stats["seq_fallback_rounds"] += 1
+            seq = capforest(g, lam, pq_kind=pq_kind, bounded=True, rng=rng)
+            _absorb(stats, seq)
+            stats["total_work"] += seq.edges_scanned + seq.vertices_scanned
+            stats["makespan_work"] += seq.edges_scanned + seq.vertices_scanned
+            uf = seq.uf
+            if seq.lambda_hat < best_value:
+                best_value = seq.lambda_hat
+                lam = seq.lambda_hat
+                if compute_side:
+                    mask = seq.best_cut_mask(g.n)
+                    if mask is not None:
+                        best_side = mask[labels]
+            if seq.n_marked == 0:
+                # Stoer–Wagner phase guarantee (see noi.py module docstring)
+                stats["sw_fallback_rounds"] += 1
+                sw = capforest(g, lam, pq_kind="heap", bounded=False, rng=rng)
+                _absorb(stats, sw)
+                if sw.lambda_hat < best_value:
+                    best_value = sw.lambda_hat
+                    lam = sw.lambda_hat
+                    if compute_side:
+                        mask = sw.best_cut_mask(g.n)
+                        if mask is not None:
+                            best_side = mask[labels]
+                uf = sw.uf
+                uf.union(sw.scan_order[-2], sw.scan_order[-1])
+
+        block_labels = uf.labels()
+        g, contraction = parallel_contract_by_labels(g, block_labels, workers=workers)
+        labels = compose_labels(labels, contraction)
+        if g.n < 2:
+            break
+        v, d = g.min_weighted_degree()
+        if d < best_value:
+            best_value = d
+            if compute_side:
+                best_side = labels == v
+        lam = min(lam, d)
+
+    if stats["makespan_work"] > 0:
+        stats["modeled_speedup"] = stats["total_work"] / stats["makespan_work"]
+    return MinCutResult(best_value, best_side if compute_side else None, n, algo, stats)

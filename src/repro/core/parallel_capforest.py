@@ -1,0 +1,414 @@
+"""Parallel CAPFOREST (Algorithm 1 of the paper).
+
+``p`` workers each pick a random start vertex and grow a scan region.  A
+shared visited table ``T`` ensures every vertex is *scanned* by exactly one
+worker: when a worker pops a vertex another worker already claimed, it
+blacklists it locally (its certificates then ignore that vertex, which
+Lemma 3.2(3) shows keeps every mark safe) and moves on.  ``T`` is written
+without locks — the paper explicitly accepts the benign race where two
+workers claim the same vertex nearly simultaneously (a vertex scanned twice
+costs time, never correctness).
+
+Each worker maintains its own ``r`` values, priority queue, and scan cut
+``α`` (the capacity of the cut between its scanned region and the rest of
+the graph — a real cut of G, so it may lower ``λ̂``).  Contractible edges
+are recorded as unions; depending on the executor these go to a shared
+lock-striped union–find (threads), a plain union–find (serial), or
+per-worker merge buffers replayed afterwards (processes) — all equivalent
+because unions commute (Lemma 3.2(1)).
+
+Executors
+---------
+``serial``
+    Runs the ``p`` workers round-robin, one vertex pop per turn, in one
+    thread.  Deterministic given the seed; the reference semantics used by
+    most tests, and the work counters it produces drive the *modeled*
+    speedups of the Figure 5 experiment.
+``threads``
+    Real ``threading`` workers sharing ``T`` (a ``bytearray``; single-byte
+    writes are atomic under the GIL).  Faithful structure, but CPython's
+    GIL serializes the scan loops, so wall-clock scaling is limited — this
+    is the documented Python-vs-C++ substitution (DESIGN.md §2).
+``processes``
+    ``fork``-based workers.  ``T`` lives in a ``multiprocessing.RawArray``;
+    ``λ̂`` in a ``Value``; marked pairs return through a queue.  True
+    parallelism for wall-clock scaling experiments.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datastructures.pq import PQStats, make_pq
+from ..datastructures.union_find import UnionFind
+from ..graph.csr import Graph
+from .capforest import MAX_BUCKET_BOUND
+
+EXECUTORS = ("serial", "threads", "processes")
+
+
+@dataclass
+class WorkerReport:
+    """Per-worker work counters (the raw material for modeled speedups)."""
+
+    worker_id: int
+    start_vertex: int
+    vertices_scanned: int = 0
+    edges_scanned: int = 0
+    blacklisted: int = 0
+    pq_stats: PQStats = field(default_factory=PQStats)
+    best_alpha: int | None = None
+    best_prefix: list[int] = field(default_factory=list)
+
+    @property
+    def work(self) -> int:
+        """Abstract work units: one per scanned edge plus one per pop."""
+        return self.edges_scanned + self.vertices_scanned + self.blacklisted
+
+
+@dataclass
+class ParallelCapforestResult:
+    """Outcome of one parallel CAPFOREST pass."""
+
+    uf: UnionFind
+    n_marked: int
+    lambda_hat: int
+    workers: list[WorkerReport]
+    #: side mask of the best scan cut found by any worker (None if no worker
+    #: improved the input bound)
+    best_side: np.ndarray | None
+
+    @property
+    def total_work(self) -> int:
+        return sum(w.work for w in self.workers)
+
+    @property
+    def makespan_work(self) -> int:
+        """Work of the busiest worker — the modeled parallel critical path."""
+        return max((w.work for w in self.workers), default=0)
+
+
+class _SharedBound:
+    """Monotonically decreasing shared λ̂ with a lock only on updates."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+        self._lock = threading.Lock()
+
+    def minimize(self, candidate: int) -> None:
+        if candidate < self.value:
+            with self._lock:
+                if candidate < self.value:
+                    self.value = candidate
+
+
+class _FrozenBound:
+    """A λ̂ box that never tightens — for fixed-threshold scans (Matula).
+
+    Workers still *report* their scan cuts through their ``best_alpha``
+    fields; only the shared marking threshold stays put.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def minimize(self, candidate: int) -> None:  # noqa: ARG002 - by design
+        return
+
+
+def _make_worker(graph_arrays, worker_id, start, pq_kind, bound, T, lam_box, union):
+    """Build (generator, report) for one worker over prepared graph arrays."""
+    xadj, adjncy, adjwgt, wdeg, n = graph_arrays
+    report = WorkerReport(worker_id=worker_id, start_vertex=start)
+    gen = _region_worker_with_prefix(
+        xadj, adjncy, adjwgt, wdeg, n, T, lam_box, union, start, pq_kind, bound, report
+    )
+    return gen, report
+
+
+def _region_worker_with_prefix(
+    xadj, adjncy, adjwgt, wdeg, n, T, lam_box, union, start, pq_kind, bound, report
+):
+    """Generator scanning one region; yields after every pop (round-robin).
+
+    ``T`` is any byte-indexable shared visited table; ``lam_box`` exposes
+    ``.value`` and ``.minimize``; ``union`` is a callable ``(u, v)``.
+    Records the exact scan prefix realising the worker's best α so the
+    coordinator can output a cut *side*, not just its value.
+    """
+    pq = make_pq(pq_kind if bound <= MAX_BUCKET_BOUND else "heap", n, bound=bound)
+    report.pq_stats = pq.stats
+    blacklist = bytearray(n)
+    local_visited = bytearray(n)
+    r = [0] * n
+    alpha = 0
+    scan_order: list[int] = []
+    best_len = 0
+    insert = pq.insert_or_raise
+    pop = pq.pop_max
+
+    insert(start, 0)
+    while len(pq):
+        x, _ = pop()
+        if T[x]:
+            blacklist[x] = 1
+            report.blacklisted += 1
+            yield
+            continue
+        T[x] = 1
+        local_visited[x] = 1
+        alpha += wdeg[x] - 2 * r[x]
+        scan_order.append(x)
+        report.vertices_scanned += 1
+        if report.vertices_scanned < n and (report.best_alpha is None or alpha < report.best_alpha):
+            report.best_alpha = alpha
+            best_len = len(scan_order)
+            lam_box.minimize(alpha)
+        lam = lam_box.value
+        lo, hi = xadj[x], xadj[x + 1]
+        nbrs = adjncy[lo:hi].tolist()
+        wgts = adjwgt[lo:hi].tolist()
+        for y, w in zip(nbrs, wgts):
+            if blacklist[y] or local_visited[y]:
+                continue
+            report.edges_scanned += 1
+            ry = r[y]
+            q = ry + w
+            if ry < lam <= q:
+                union(x, y)
+            r[y] = q
+            insert(y, q)
+        yield
+    report.best_prefix = scan_order[:best_len]
+
+
+def parallel_capforest(
+    graph: Graph,
+    lambda_hat: int,
+    *,
+    workers: int = 4,
+    pq_kind: str = "bqueue",
+    executor: str = "serial",
+    rng: np.random.Generator | int | None = None,
+    fixed_bound: bool = False,
+) -> ParallelCapforestResult:
+    """One parallel CAPFOREST pass over ``graph`` with bound ``λ̂``.
+
+    Returns the merged union–find of contractible-edge marks, the improved
+    bound, the best scan-cut side, and per-worker work reports.  May mark
+    nothing (early termination, §3.2) — callers fall back to sequential
+    CAPFOREST, as Algorithm 2 does.
+
+    ``fixed_bound=True`` freezes the shared marking threshold at the input
+    value (workers still report their scan cuts) — the configuration the
+    parallel Matula approximation needs, where ``λ̂`` is deliberately below
+    the true minimum cut and must not be "tightened" by real cuts.
+    """
+    if lambda_hat < 0:
+        raise ValueError(f"lambda_hat must be non-negative, got {lambda_hat}")
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    n = graph.n
+    if n == 0:
+        return ParallelCapforestResult(UnionFind(0), 0, lambda_hat, [], None)
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+
+    p = min(workers, n)
+    starts = rng.choice(n, size=p, replace=False).tolist()
+    graph_arrays = (
+        graph.xadj.tolist(),
+        graph.adjncy,
+        graph.adjwgt,
+        graph.weighted_degrees().tolist(),
+        n,
+    )
+
+    if executor == "processes":
+        return _run_processes(graph_arrays, lambda_hat, starts, pq_kind, fixed_bound)
+
+    T = bytearray(n)
+    lam_box = _FrozenBound(lambda_hat) if fixed_bound else _SharedBound(lambda_hat)
+    if executor == "serial":
+        uf = UnionFind(n)
+        union = uf.union
+        pairs: list = []
+    else:
+        from ..datastructures.concurrent_union_find import LockStripedUnionFind
+
+        striped = LockStripedUnionFind(n)
+        union = striped.union
+
+    gens_reports = [
+        _make_worker(graph_arrays, i, s, pq_kind, lambda_hat, T, lam_box, union)
+        for i, s in enumerate(starts)
+    ]
+    reports = [rep for _, rep in gens_reports]
+
+    if executor == "serial":
+        live = [gen for gen, _ in gens_reports]
+        while live:
+            nxt = []
+            for gen in live:
+                try:
+                    next(gen)
+                    nxt.append(gen)
+                except StopIteration:
+                    pass
+            live = nxt
+    else:
+        threads = [
+            threading.Thread(target=_drain, args=(gen,), daemon=True) for gen, _ in gens_reports
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        uf = striped.to_sequential()
+
+    return _finalize(uf, lambda_hat, lam_box.value, reports, n)
+
+
+def _drain(gen) -> None:
+    for _ in gen:
+        pass
+
+
+def _finalize(
+    uf: UnionFind, lam_in: int, lam_out: int, reports: list[WorkerReport], n: int
+) -> ParallelCapforestResult:
+    n_marked = n - uf.count
+    best_side = None
+    if lam_out < lam_in:
+        winner = min(
+            (r for r in reports if r.best_alpha is not None),
+            key=lambda r: r.best_alpha,
+            default=None,
+        )
+        if winner is not None and winner.best_alpha == lam_out and winner.best_prefix:
+            best_side = np.zeros(n, dtype=bool)
+            best_side[winner.best_prefix] = True
+    return ParallelCapforestResult(uf, n_marked, min(lam_in, lam_out), reports, best_side)
+
+
+# ---------------------------------------------------------------------------
+# process executor
+# ---------------------------------------------------------------------------
+
+
+def _run_processes(
+    graph_arrays, lambda_hat, starts, pq_kind, fixed_bound=False
+) -> ParallelCapforestResult:
+    import multiprocessing as mp
+
+    ctx = mp.get_context("fork")
+    n = graph_arrays[4]
+    T = ctx.RawArray("B", n)  # zero-initialised shared visited table
+    lam_val = ctx.Value("q", lambda_hat, lock=False)
+    lam_lock = ctx.Lock()
+    out: mp.SimpleQueue = ctx.SimpleQueue()
+
+    procs = [
+        ctx.Process(
+            target=_process_worker,
+            args=(
+                graph_arrays, i, s, pq_kind, lambda_hat, T, lam_val, lam_lock, out, fixed_bound,
+            ),
+            daemon=True,
+        )
+        for i, s in enumerate(starts)
+    ]
+    for pr in procs:
+        pr.start()
+    results = [out.get() for _ in procs]
+    for pr in procs:
+        pr.join()
+
+    uf = UnionFind(n)
+    reports: list[WorkerReport] = []
+    lam_out = lambda_hat
+    for worker_id, pairs, rep_dict in sorted(results):
+        for u, v in pairs:
+            uf.union(u, v)
+        rep = WorkerReport(
+            worker_id=worker_id,
+            start_vertex=rep_dict["start_vertex"],
+            vertices_scanned=rep_dict["vertices_scanned"],
+            edges_scanned=rep_dict["edges_scanned"],
+            blacklisted=rep_dict["blacklisted"],
+            pq_stats=PQStats(**rep_dict["pq_stats"]),
+            best_alpha=rep_dict["best_alpha"],
+            best_prefix=rep_dict["best_prefix"],
+        )
+        reports.append(rep)
+        if not fixed_bound and rep.best_alpha is not None and rep.best_alpha < lam_out:
+            lam_out = rep.best_alpha
+    return _finalize(uf, lambda_hat, lam_out, reports, n)
+
+
+class _ProcessBound:
+    """λ̂ box over a multiprocessing Value (lock only for updates)."""
+
+    __slots__ = ("_val", "_lock")
+
+    def __init__(self, val, lock) -> None:
+        self._val = val
+        self._lock = lock
+
+    @property
+    def value(self) -> int:
+        return self._val.value
+
+    def minimize(self, candidate: int) -> None:
+        if candidate < self._val.value:
+            with self._lock:
+                if candidate < self._val.value:
+                    self._val.value = candidate
+
+
+def _process_worker(
+    graph_arrays, worker_id, start, pq_kind, bound, T, lam_val, lam_lock, out, fixed_bound=False
+) -> None:  # pragma: no cover - exercised via subprocesses
+    pairs: list[tuple[int, int]] = []
+    report = WorkerReport(worker_id=worker_id, start_vertex=start)
+    lam_box = _FrozenBound(bound) if fixed_bound else _ProcessBound(lam_val, lam_lock)
+    gen = _region_worker_with_prefix(
+        graph_arrays[0],
+        graph_arrays[1],
+        graph_arrays[2],
+        graph_arrays[3],
+        graph_arrays[4],
+        T,
+        lam_box,
+        lambda u, v: pairs.append((u, v)),
+        start,
+        pq_kind,
+        bound,
+        report,
+    )
+    for _ in gen:
+        pass
+    out.put(
+        (
+            worker_id,
+            pairs,
+            {
+                "start_vertex": report.start_vertex,
+                "vertices_scanned": report.vertices_scanned,
+                "edges_scanned": report.edges_scanned,
+                "blacklisted": report.blacklisted,
+                "pq_stats": report.pq_stats.as_dict(),
+                "best_alpha": report.best_alpha,
+                "best_prefix": report.best_prefix,
+            },
+        )
+    )

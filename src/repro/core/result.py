@@ -1,0 +1,58 @@
+"""Result type shared by every minimum-cut solver in the package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+
+@dataclass
+class MinCutResult:
+    """A (claimed) minimum cut: its value, one side, and solver metadata.
+
+    The ``side`` mask certifies the value: :meth:`verify` recomputes the
+    capacity of the induced bipartition from scratch.  Exact solvers always
+    attach a side; inexact ones (VieCut) attach the best cut they found.
+    """
+
+    #: capacity of the cut
+    value: int
+    #: boolean mask over the graph's vertices; ``True`` marks one side.
+    #: ``None`` only when the caller asked the solver to skip side tracking.
+    side: np.ndarray | None
+    #: number of vertices of the input graph
+    n: int
+    #: solver label, e.g. ``"noi-heap-bounded"`` or ``"parcut-bqueue"``
+    algorithm: str
+    #: solver-specific counters (rounds, PQ operations, edges scanned, ...)
+    stats: dict = field(default_factory=dict)
+
+    def partition(self) -> tuple[list[int], list[int]]:
+        """The two vertex sets of the cut (requires a side mask)."""
+        if self.side is None:
+            raise ValueError("this result carries no cut side")
+        inside = np.flatnonzero(self.side)
+        outside = np.flatnonzero(~self.side)
+        return inside.tolist(), outside.tolist()
+
+    def verify(self, graph: Graph) -> bool:
+        """Recompute the cut capacity from the side mask and compare.
+
+        Also checks both sides are non-empty (a cut must bipartition V).
+        """
+        if self.side is None:
+            raise ValueError("this result carries no cut side")
+        k = int(self.side.sum())
+        if k == 0 or k == self.n:
+            return False
+        return graph.cut_value(self.side) == self.value
+
+    def __repr__(self) -> str:
+        side = "?" if self.side is None else int(self.side.sum())
+        return (
+            f"MinCutResult(value={self.value}, |A|={side}, n={self.n}, "
+            f"algorithm={self.algorithm!r})"
+        )

@@ -1,0 +1,20 @@
+"""Priority queues and union–find structures used by the min-cut solvers."""
+
+from .binary_heap import HeapPQ
+from .bucket_pq import BQueuePQ, BStackPQ
+from .concurrent_union_find import LockStripedUnionFind, MergeBufferUnionFind
+from .pq import PQ_NAMES, MaxPriorityQueue, PQStats, make_pq
+from .union_find import UnionFind
+
+__all__ = [
+    "HeapPQ",
+    "BQueuePQ",
+    "BStackPQ",
+    "LockStripedUnionFind",
+    "MergeBufferUnionFind",
+    "PQ_NAMES",
+    "MaxPriorityQueue",
+    "PQStats",
+    "make_pq",
+    "UnionFind",
+]

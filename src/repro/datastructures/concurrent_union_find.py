@@ -1,0 +1,121 @@
+"""Concurrent union–find variants for the parallel CAPFOREST workers.
+
+The paper uses the wait-free union–find of Anderson & Woll so that all
+workers can union into one shared structure without coordination.  CPython
+offers no compare-and-swap on arrays, so we provide two semantically
+equivalent substitutes (documented in DESIGN.md):
+
+* :class:`LockStripedUnionFind` — a shared structure whose ``union`` takes
+  one of ``k`` stripe locks (both stripes, ordered, to avoid deadlock).
+  ``find`` is lock-free: concurrent path-halving writes are benign because
+  they only ever replace a parent pointer with an ancestor.  Used by the
+  thread executor.
+
+* :class:`MergeBufferUnionFind` — workers append ``(u, v)`` pairs to a
+  private buffer; the coordinator replays all buffers into a sequential
+  :class:`~repro.datastructures.union_find.UnionFind` afterwards.  The paper
+  (Lemma 3.2(1)) notes union operations commute, so deferred replay yields
+  the same partition.  Used by the process executor, where shipping pairs
+  over a pipe is far cheaper than sharing the forest.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .union_find import UnionFind
+
+
+class LockStripedUnionFind:
+    """Thread-safe union–find: lock-free finds, striped-lock unions."""
+
+    def __init__(self, n: int, stripes: int = 64) -> None:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if stripes < 1:
+            raise ValueError(f"stripes must be >= 1, got {stripes}")
+        self._parent = np.arange(n, dtype=np.int64)
+        self._locks = [threading.Lock() for _ in range(stripes)]
+        self._stripes = stripes
+
+    @property
+    def n(self) -> int:
+        return len(self._parent)
+
+    def find(self, x: int) -> int:
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return int(x)
+
+    def union(self, x: int, y: int) -> bool:
+        # Retry loop: another thread may re-root one side between our find
+        # and taking the locks; re-check roots while holding both stripes.
+        while True:
+            rx, ry = self.find(x), self.find(y)
+            if rx == ry:
+                return False
+            if rx > ry:
+                rx, ry = ry, rx
+            # acquire stripes in *stripe-index* order — root order does not
+            # imply stripe order, and inconsistent ordering deadlocks
+            si, sj = rx % self._stripes, ry % self._stripes
+            if si > sj:
+                si, sj = sj, si
+            lock_a = self._locks[si]
+            lock_b = self._locks[sj]
+            if lock_a is lock_b:
+                with lock_a:
+                    if self._parent[rx] == rx and self._parent[ry] == ry:
+                        self._parent[ry] = rx
+                        return True
+            else:
+                with lock_a, lock_b:
+                    if self._parent[rx] == rx and self._parent[ry] == ry:
+                        self._parent[ry] = rx
+                        return True
+
+    def same(self, x: int, y: int) -> bool:
+        return self.find(x) == self.find(y)
+
+    def to_sequential(self) -> UnionFind:
+        """Snapshot into a sequential UnionFind (call after workers join)."""
+        uf = UnionFind(self.n)
+        parent = self._parent
+        for x in range(self.n):
+            p = int(parent[x])
+            if p != x:
+                uf.union(x, p)
+        return uf
+
+    def labels(self) -> np.ndarray:
+        return self.to_sequential().labels()
+
+
+class MergeBufferUnionFind:
+    """Per-worker append-only union buffer, replayed by the coordinator.
+
+    Each worker gets its own instance (no sharing, no locks).  The
+    coordinator calls :meth:`replay_into` with all buffers.
+    """
+
+    __slots__ = ("pairs",)
+
+    def __init__(self) -> None:
+        self.pairs: list[tuple[int, int]] = []
+
+    def union(self, x: int, y: int) -> bool:
+        self.pairs.append((x, y))
+        return True  # optimistic; definitive answer only after replay
+
+    @staticmethod
+    def replay_into(uf: UnionFind, buffers: "list[MergeBufferUnionFind] | list[list[tuple[int, int]]]") -> UnionFind:
+        """Apply every buffered pair to ``uf``; order is irrelevant."""
+        for buf in buffers:
+            pairs = buf.pairs if isinstance(buf, MergeBufferUnionFind) else buf
+            for x, y in pairs:
+                uf.union(x, y)
+        return uf

@@ -1,0 +1,108 @@
+"""Addressable max-priority-queue protocol and factory.
+
+CAPFOREST (paper §2.3/§3.1) needs an *addressable* max-queue over vertex
+ids whose priorities only increase during a scan, plus the paper's key
+optimization: priorities can be clamped to the current minimum-cut upper
+bound ``λ̂`` (Lemma 3.1) — updates to vertices already at the bound are
+skipped entirely.
+
+Three implementations are compared in the paper and provided here:
+
+================  ===============================  ==========================
+name              class                            pop-from-top-bucket order
+================  ===============================  ==========================
+``"bstack"``      :class:`~.bucket_pq.BStackPQ`    LIFO (most recently moved)
+``"bqueue"``      :class:`~.bucket_pq.BQueuePQ`    FIFO (closest to source)
+``"heap"``        :class:`~.binary_heap.HeapPQ`    heap order (no bias)
+================  ===============================  ==========================
+
+All share the interface below.  Every implementation counts its operations
+(``stats``) so experiments can report data-structure effects independently
+of wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+
+@dataclass
+class PQStats:
+    """Operation counters, reported by the Figure 2/3 experiments."""
+
+    pushes: int = 0
+    updates: int = 0
+    skipped_updates: int = 0  # update requests ignored because key == bound
+    pops: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.pushes + self.updates + self.pops
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "pushes": self.pushes,
+            "updates": self.updates,
+            "skipped_updates": self.skipped_updates,
+            "pops": self.pops,
+        }
+
+
+@runtime_checkable
+class MaxPriorityQueue(Protocol):
+    """Addressable integer-keyed max-priority queue over ``{0..n-1}``."""
+
+    stats: PQStats
+
+    def insert_or_raise(self, v: int, priority: int) -> None:
+        """Insert ``v`` with ``priority``, or raise its key to ``priority``.
+
+        Lowering a key is a no-op (CAPFOREST keys are monotone).  With a
+        bound ``b``, the effective key is ``min(priority, b)`` and requests
+        for vertices already at ``b`` are skipped (Lemma 3.1).
+        """
+        ...
+
+    def pop_max(self) -> tuple[int, int]:
+        """Remove and return ``(vertex, key)`` with the largest key."""
+        ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, v: int) -> bool: ...
+
+
+# Registry used by solvers and the experiment harness; names match the
+# paper's variant labels (NOIλ̂-BStack, NOIλ̂-BQueue, NOIλ̂-Heap).
+PQ_NAMES = ("bstack", "bqueue", "heap")
+
+
+def make_pq(kind: str, n: int, bound: int | None = None) -> MaxPriorityQueue:
+    """Create a priority queue by name.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`PQ_NAMES`.
+    n:
+        Vertex id universe size.
+    bound:
+        Priority clamp ``λ̂`` (``None`` = unbounded).  Bucket queues *require*
+        a bound, since they allocate one bucket per possible key; asking for
+        an unbounded bucket queue raises ``ValueError``.
+    """
+    from .binary_heap import HeapPQ
+    from .bucket_pq import BQueuePQ, BStackPQ
+
+    if kind == "heap":
+        return HeapPQ(n, bound=bound)
+    if kind == "bstack":
+        if bound is None:
+            raise ValueError("bucket queues require a bound (λ̂)")
+        return BStackPQ(n, bound=bound)
+    if kind == "bqueue":
+        if bound is None:
+            raise ValueError("bucket queues require a bound (λ̂)")
+        return BQueuePQ(n, bound=bound)
+    raise ValueError(f"unknown priority queue kind {kind!r}; expected one of {PQ_NAMES}")

@@ -1,0 +1,91 @@
+"""Sequential union–find (disjoint set union) over integer vertex ids.
+
+This is the bookkeeping structure CAPFOREST uses to *mark* contractible
+edges (paper §3.2): marking edge ``(u, v)`` is a ``union(u, v)``; the actual
+graph contraction happens later from the resulting partition labels.
+
+Implementation: union by rank with path halving.  Path halving keeps
+``find`` a single loop (no recursion, no second pass), which matters because
+``find`` sits on the hot path of the contraction kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UnionFind:
+    """Array-based disjoint sets over ``{0, ..., n-1}``."""
+
+    __slots__ = ("_parent", "_rank", "_count")
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        self._parent = np.arange(n, dtype=np.int64)
+        self._rank = np.zeros(n, dtype=np.int8)
+        self._count = n
+
+    @property
+    def n(self) -> int:
+        """Number of elements."""
+        return len(self._parent)
+
+    @property
+    def count(self) -> int:
+        """Current number of disjoint sets."""
+        return self._count
+
+    def find(self, x: int) -> int:
+        """Representative of the set containing ``x`` (path halving)."""
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return int(x)
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the sets of ``x`` and ``y``; True if they were distinct."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        rank = self._rank
+        if rank[rx] < rank[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        if rank[rx] == rank[ry]:
+            rank[rx] += 1
+        self._count -= 1
+        return True
+
+    def same(self, x: int, y: int) -> bool:
+        """True if ``x`` and ``y`` are in the same set."""
+        return self.find(x) == self.find(y)
+
+    def labels(self) -> np.ndarray:
+        """Dense labels in ``[0, count)``, one per element, stable by root id.
+
+        The contraction kernels consume this: vertices sharing a set share a
+        label, and labels are consecutive so they can index the contracted
+        graph's vertex arrays directly.
+        """
+        n = self.n
+        parent = self._parent
+        # Full path compression, vectorized: iterate parent-jumps until fixpoint.
+        roots = parent.copy()
+        while True:
+            nxt = roots[roots]
+            if np.array_equal(nxt, roots):
+                break
+            roots = nxt
+        self._parent = roots.copy()  # keep the compressed forest
+        unique_roots, labels = np.unique(roots, return_inverse=True)
+        self._count = len(unique_roots)
+        return labels.astype(np.int64, copy=False)
+
+    def sets(self) -> dict[int, list[int]]:
+        """Mapping ``root -> members`` (for tests and small-graph debugging)."""
+        out: dict[int, list[int]] = {}
+        for x in range(self.n):
+            out.setdefault(self.find(x), []).append(x)
+        return out

@@ -1,0 +1,21 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+Each module is runnable: ``python -m repro.experiments.figure2`` etc.; see
+DESIGN.md's experiment index for the mapping to the paper.
+"""
+
+from .harness import (
+    RunRecord,
+    make_parallel_variants,
+    make_sequential_variants,
+    run_matrix,
+    time_variant,
+)
+
+__all__ = [
+    "RunRecord",
+    "make_parallel_variants",
+    "make_sequential_variants",
+    "run_matrix",
+    "time_variant",
+]

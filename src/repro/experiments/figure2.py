@@ -1,0 +1,71 @@
+"""Figure 2 — running time per edge on RHG graphs.
+
+The paper plots nanoseconds per edge against the number of vertices, one
+panel per average degree (2^5..2^8), for eight sequential variants.  This
+script regenerates the same series (scaled sizes, see DESIGN.md §2) and
+additionally prints the priority-queue operation counts that explain the
+paper's observation that on RHG graphs "nearly no vertices reach priorities
+much larger than λ̂", so NOI-HNSS ≈ NOIλ̂-Heap there.
+
+Usage::
+
+    python -m repro.experiments.figure2 [--n-exp 10 11 12] [--deg-exp 3 4 5]
+                                        [--reps 1] [--csv]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .harness import make_sequential_variants, run_matrix
+from .instances import RHG_DEG_EXPONENTS, RHG_N_EXPONENTS, rhg_instance
+from .report import format_csv, format_table
+
+
+def run(
+    n_exponents: tuple[int, ...] = RHG_N_EXPONENTS,
+    deg_exponents: tuple[int, ...] = RHG_DEG_EXPONENTS,
+    *,
+    repetitions: int = 1,
+    seed: int = 0,
+):
+    """Return the records grouped per degree panel: {deg_exp: [RunRecord]}."""
+    variants = make_sequential_variants()
+    panels = {}
+    for d in deg_exponents:
+        instances = [(f"rhg_2^{n}_deg2^{d}", rhg_instance(n, d, seed)) for n in n_exponents]
+        panels[d] = run_matrix(variants, instances, repetitions=repetitions, seed=seed)
+    return panels
+
+
+def main(argv: list[str] | None = None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--n-exp", type=int, nargs="+", default=list(RHG_N_EXPONENTS))
+    ap.add_argument("--deg-exp", type=int, nargs="+", default=list(RHG_DEG_EXPONENTS))
+    ap.add_argument("--reps", type=int, default=1)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--csv", action="store_true")
+    args = ap.parse_args(argv)
+
+    panels = run(tuple(args.n_exp), tuple(args.deg_exp), repetitions=args.reps, seed=args.seed)
+    headers = ["instance", "n", "m", "algorithm", "ns_per_edge", "seconds", "cut", "pq_ops"]
+    for d, records in panels.items():
+        rows = [
+            [
+                r.instance,
+                r.n,
+                r.m,
+                r.algorithm,
+                r.ns_per_edge,
+                r.seconds,
+                r.value,
+                r.stats.get("pq_pushes", 0) + r.stats.get("pq_updates", 0) + r.stats.get("pq_pops", 0),
+            ]
+            for r in records
+        ]
+        print(f"== Figure 2 panel: average degree 2^{d} ==")
+        print((format_csv if args.csv else format_table)(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

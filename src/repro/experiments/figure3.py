@@ -1,0 +1,105 @@
+"""Figure 3 — slowdown relative to NOIλ̂-Heap-VieCut on web-like graphs.
+
+The paper normalizes every variant's running time by NOIλ̂-Heap-VieCut's
+and plots the slowdown against the number of edges and the average degree.
+``--speedups`` additionally prints the §4.2 headline numbers:
+
+* geometric-mean speedup of NOIλ̂-Heap over NOI-HNSS (paper: 1.35, up to
+  1.83 on hub-heavy graphs),
+* geometric-mean speedup of NOIλ̂-BStack over NOIλ̂-Heap on web-like
+  graphs (paper: 1.22),
+* geometric-mean speedup of adding VieCut (paper: 1.34),
+* plus the skipped-PQ-update counts that *cause* the first effect.
+
+Usage::
+
+    python -m repro.experiments.figure3 [--scale 0.5] [--reps 1] [--speedups]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import defaultdict
+
+from ..utils.stats import geometric_mean
+from .harness import make_sequential_variants, run_matrix
+from .instances import web_instances
+from .report import format_csv, format_table
+
+REFERENCE = "NOIlam-Heap-VieCut"
+
+
+def run(*, scale: float = 0.5, repetitions: int = 1, seed: int = 0):
+    variants = make_sequential_variants()
+    instances = web_instances(scale=scale)
+    return run_matrix(variants, instances, repetitions=repetitions, seed=seed)
+
+
+def slowdown_rows(records) -> list[list[object]]:
+    ref_time: dict[str, float] = {
+        r.instance: r.seconds for r in records if r.algorithm == REFERENCE
+    }
+    rows = []
+    for r in records:
+        rows.append(
+            [
+                r.instance,
+                r.m,
+                round(2 * r.m / max(r.n, 1), 1),
+                r.algorithm,
+                r.seconds / ref_time[r.instance],
+                r.seconds,
+                r.value,
+            ]
+        )
+    return rows
+
+
+def speedup_summary(records) -> list[list[object]]:
+    """The §4.2 paired geometric-mean speedups."""
+    by_algo: dict[str, dict[str, float]] = defaultdict(dict)
+    skipped: dict[str, dict[str, int]] = defaultdict(dict)
+    for r in records:
+        by_algo[r.algorithm][r.instance] = r.seconds
+        skipped[r.algorithm][r.instance] = r.stats.get("pq_skipped_updates", 0)
+    pairs = [
+        ("NOIlam-Heap vs NOI-HNSS (bounded queue effect)", "NOI-HNSS", "NOIlam-Heap"),
+        ("NOIlam-BStack vs NOIlam-Heap (bucket queue effect)", "NOIlam-Heap", "NOIlam-BStack"),
+        ("NOIlam-BStack vs NOIlam-BQueue", "NOIlam-BQueue", "NOIlam-BStack"),
+        ("NOIlam-Heap-VieCut vs NOIlam-Heap (VieCut seed effect)", "NOIlam-Heap", "NOIlam-Heap-VieCut"),
+        ("NOIlam-Heap-VieCut vs NOI-HNSS (all optimizations)", "NOI-HNSS", "NOIlam-Heap-VieCut"),
+    ]
+    rows: list[list[object]] = []
+    for label, base, improved in pairs:
+        common = sorted(set(by_algo[base]) & set(by_algo[improved]))
+        ratios = [by_algo[base][i] / by_algo[improved][i] for i in common]
+        rows.append([label, geometric_mean(ratios), max(ratios), min(ratios)])
+    total_skipped = sum(skipped["NOIlam-Heap"].values())
+    rows.append(["PQ updates skipped by the λ̂ bound (NOIlam-Heap, total)", total_skipped, "-", "-"])
+    return rows
+
+
+def main(argv: list[str] | None = None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=float, default=0.5)
+    ap.add_argument("--reps", type=int, default=1)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--speedups", action="store_true")
+    ap.add_argument("--csv", action="store_true")
+    args = ap.parse_args(argv)
+
+    records = run(scale=args.scale, repetitions=args.reps, seed=args.seed)
+    headers = ["instance", "m", "avg_deg", "algorithm", "slowdown_vs_ref", "seconds", "cut"]
+    print(f"== Figure 3: slowdown relative to {REFERENCE} ==")
+    print((format_csv if args.csv else format_table)(headers, slowdown_rows(records)))
+    if args.speedups:
+        print("== §4.2 geometric-mean speedups ==")
+        print(
+            format_table(
+                ["comparison", "geomean", "max", "min"], speedup_summary(records)
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

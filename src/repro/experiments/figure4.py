@@ -1,0 +1,71 @@
+"""Figure 4 — performance profile over all instances.
+
+For every algorithm and instance the ratio ``t_best / t_algo`` is computed
+(1.0 = fastest on that instance, values near 0 = much slower, below 0 =
+could not run); per algorithm the ratios are sorted ascending.  The paper's
+plot is exactly these series; this script prints them as columns.
+
+Usage::
+
+    python -m repro.experiments.figure4 [--scale 0.35] [--rhg] [--csv]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import defaultdict
+
+from ..utils.stats import performance_profile
+from .harness import make_sequential_variants, run_matrix
+from .instances import rhg_instances, web_instances
+from .report import format_csv, format_table
+
+
+def run(*, scale: float = 0.35, include_rhg: bool = True, repetitions: int = 1, seed: int = 0):
+    variants = make_sequential_variants()
+    instances = web_instances(scale=scale)
+    if include_rhg:
+        instances = instances + rhg_instances((10, 11), (3, 4), seed=seed)
+    return run_matrix(variants, instances, repetitions=repetitions, seed=seed)
+
+
+def profile_columns(records) -> tuple[list[str], list[list[object]]]:
+    per_algo_times: dict[str, dict[str, float]] = defaultdict(dict)
+    instance_order: list[str] = []
+    for r in records:
+        if r.instance not in instance_order:
+            instance_order.append(r.instance)
+        per_algo_times[r.algorithm][r.instance] = r.seconds
+    times = {
+        algo: [per_algo_times[algo].get(i) for i in instance_order]
+        for algo in per_algo_times
+    }
+    profile = performance_profile(times)
+    algos = sorted(profile)
+    depth = max(len(v) for v in profile.values())
+    headers = ["rank"] + algos
+    rows = []
+    for i in range(depth):
+        rows.append([i + 1] + [profile[a][i] if i < len(profile[a]) else None for a in algos])
+    return headers, rows
+
+
+def main(argv: list[str] | None = None) -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scale", type=float, default=0.35)
+    ap.add_argument("--no-rhg", action="store_true")
+    ap.add_argument("--reps", type=int, default=1)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--csv", action="store_true")
+    args = ap.parse_args(argv)
+
+    records = run(
+        scale=args.scale, include_rhg=not args.no_rhg, repetitions=args.reps, seed=args.seed
+    )
+    headers, rows = profile_columns(records)
+    print("== Figure 4: performance profile (t_best / t_algo, sorted ascending) ==")
+    print((format_csv if args.csv else format_table)(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

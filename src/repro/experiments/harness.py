@@ -1,0 +1,178 @@
+"""Experiment harness: algorithm variant registry, timing, result records.
+
+The eight sequential variants of the paper's Figures 2–4 and the three
+parallel ParCut variants of Figure 5 are registered here by their paper
+names, so every experiment script and benchmark selects them identically.
+
+Timing follows the paper's protocol (mean over repetitions); each record
+also keeps the solver's operation counters, because in pure Python the
+*operation counts* are the noise-free signal the paper's wall-clock ratios
+correspond to (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.mincut import parallel_mincut
+from ..core.noi import noi_mincut
+from ..core.result import MinCutResult
+from ..graph.csr import Graph
+
+
+def _seeded(rng_seed: int) -> np.random.Generator:
+    return np.random.default_rng(rng_seed)
+
+
+def make_sequential_variants() -> dict[str, Callable[[Graph, int], MinCutResult]]:
+    """The paper's sequential line-up, keyed by its variant names.
+
+    ``HO-CGKLS`` / ``NOI-CGKLS`` are the Chekuri et al. codes; our stand-ins
+    are the same algorithms (flow-based Hao–Orlin; NOI with an unbounded
+    heap and no VieCut seed) — see DESIGN.md.
+    """
+
+    def ho(graph: Graph, seed: int) -> MinCutResult:
+        from ..baselines.hao_orlin import hao_orlin
+
+        return hao_orlin(graph, compute_side=False)
+
+    def noi_cgkls(graph: Graph, seed: int) -> MinCutResult:
+        return noi_mincut(graph, pq_kind="heap", bounded=False, rng=_seeded(seed), compute_side=False)
+
+    def noi_hnss(graph: Graph, seed: int) -> MinCutResult:
+        return noi_mincut(graph, pq_kind="heap", bounded=False, rng=_seeded(seed), compute_side=False)
+
+    def bounded(pq: str) -> Callable[[Graph, int], MinCutResult]:
+        def run(graph: Graph, seed: int) -> MinCutResult:
+            return noi_mincut(graph, pq_kind=pq, bounded=True, rng=_seeded(seed), compute_side=False)
+
+        return run
+
+    def with_viecut(pq: str, bounded_flag: bool) -> Callable[[Graph, int], MinCutResult]:
+        def run(graph: Graph, seed: int) -> MinCutResult:
+            from ..viecut.viecut import viecut
+
+            rng = _seeded(seed)
+            seed_cut = viecut(graph, rng=rng)
+            return noi_mincut(
+                graph,
+                pq_kind=pq,
+                bounded=bounded_flag,
+                initial_bound=seed_cut.value,
+                rng=rng,
+                compute_side=False,
+            )
+
+        return run
+
+    return {
+        "HO-CGKLS": ho,
+        "NOI-CGKLS": noi_cgkls,
+        "NOI-HNSS": noi_hnss,
+        "NOIlam-BStack": bounded("bstack"),
+        "NOIlam-BQueue": bounded("bqueue"),
+        "NOIlam-Heap": bounded("heap"),
+        "NOI-HNSS-VieCut": with_viecut("heap", False),
+        "NOIlam-Heap-VieCut": with_viecut("heap", True),
+    }
+
+
+def make_parallel_variants(
+    workers: int, executor: str = "serial"
+) -> dict[str, Callable[[Graph, int], MinCutResult]]:
+    """ParCutλ̂-{BStack, BQueue, Heap} at a given worker count."""
+
+    def parcut(pq: str) -> Callable[[Graph, int], MinCutResult]:
+        def run(graph: Graph, seed: int) -> MinCutResult:
+            return parallel_mincut(
+                graph,
+                workers=workers,
+                pq_kind=pq,
+                executor=executor,
+                use_viecut=True,
+                rng=_seeded(seed),
+                compute_side=False,
+            )
+
+        return run
+
+    return {
+        "ParCutlam-BStack": parcut("bstack"),
+        "ParCutlam-BQueue": parcut("bqueue"),
+        "ParCutlam-Heap": parcut("heap"),
+    }
+
+
+@dataclass
+class RunRecord:
+    """One (algorithm, instance) measurement."""
+
+    algorithm: str
+    instance: str
+    n: int
+    m: int
+    seconds: float
+    value: int
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ns_per_edge(self) -> float:
+        """The paper's Figure 2 y-axis."""
+        return self.seconds * 1e9 / max(self.m, 1)
+
+
+def time_variant(
+    name: str,
+    fn: Callable[[Graph, int], MinCutResult],
+    graph: Graph,
+    instance: str,
+    *,
+    repetitions: int = 1,
+    seed: int = 0,
+) -> RunRecord:
+    """Run ``fn`` ``repetitions`` times; record the mean time and result."""
+    times = []
+    result: MinCutResult | None = None
+    for rep in range(repetitions):
+        t0 = time.perf_counter()
+        result = fn(graph, seed + rep)
+        times.append(time.perf_counter() - t0)
+    assert result is not None
+    return RunRecord(
+        algorithm=name,
+        instance=instance,
+        n=graph.n,
+        m=graph.m,
+        seconds=sum(times) / len(times),
+        value=result.value,
+        stats=dict(result.stats),
+    )
+
+
+def run_matrix(
+    variants: dict[str, Callable[[Graph, int], MinCutResult]],
+    instances: list[tuple[str, Graph]],
+    *,
+    repetitions: int = 1,
+    seed: int = 0,
+    check_agreement: bool = True,
+) -> list[RunRecord]:
+    """Cross product of variants × instances; optionally asserts all exact
+    solvers agree on every instance (they must — they are exact)."""
+    records: list[RunRecord] = []
+    for inst_name, graph in instances:
+        values: set[int] = set()
+        for algo_name, fn in variants.items():
+            rec = time_variant(algo_name, fn, graph, inst_name, repetitions=repetitions, seed=seed)
+            records.append(rec)
+            values.add(rec.value)
+        if check_agreement and len(values) > 1:
+            raise AssertionError(
+                f"exact solvers disagree on {inst_name}: {sorted(values)}"
+            )
+    return records

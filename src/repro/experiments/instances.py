@@ -1,0 +1,65 @@
+"""Instance registry shared by the experiment scripts and benchmarks.
+
+Two families, mirroring the paper's §4.1:
+
+* **RHG** — random hyperbolic graphs, power-law exponent 5 (α = 2), a sweep
+  of sizes × average degrees (paper: n = 2^20..2^25, deg 2^5..2^8; default
+  here n = 2^10..2^12, deg 2^3..2^5 — same geometry, pure-Python scale;
+  pass larger exponents to sweep further).
+* **web-like** — the synthetic Table-1 suite of k-cores
+  (:mod:`repro.generators.worlds`).
+
+Graphs are cached per process so that a benchmark touching one instance
+with several variants generates it once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..generators.rhg import rhg
+from ..generators.worlds import DEFAULT_WORLDS, build_suite
+from ..graph.components import largest_component
+from ..graph.csr import Graph
+
+#: default sweep exponents (paper values minus 10 / minus 2 — see DESIGN.md)
+RHG_N_EXPONENTS = (10, 11, 12)
+RHG_DEG_EXPONENTS = (3, 4, 5)
+
+
+@lru_cache(maxsize=None)
+def rhg_instance(n_exp: int, deg_exp: int, seed: int = 0) -> Graph:
+    """Largest component of an RHG(α=2) with n = 2**n_exp, deg ≈ 2**deg_exp."""
+    g = rhg(1 << n_exp, float(1 << deg_exp), alpha=2.0, rng=seed)
+    comp, _ = largest_component(g)
+    return comp
+
+
+def rhg_instances(
+    n_exponents: tuple[int, ...] = RHG_N_EXPONENTS,
+    deg_exponents: tuple[int, ...] = RHG_DEG_EXPONENTS,
+    *,
+    seed: int = 0,
+) -> list[tuple[str, Graph]]:
+    """The Figure 2 grid as ``(name, graph)`` pairs, grouped by degree."""
+    out: list[tuple[str, Graph]] = []
+    for d in deg_exponents:
+        for n in n_exponents:
+            out.append((f"rhg_2^{n}_deg2^{d}", rhg_instance(n, d, seed)))
+    return out
+
+
+@lru_cache(maxsize=None)
+def _suite_cached(scale: float) -> tuple:
+    return tuple(build_suite(DEFAULT_WORLDS, scale=scale))
+
+
+def web_instances(*, scale: float = 0.5) -> list[tuple[str, Graph]]:
+    """The synthetic Table-1 suite as ``(name, graph)`` pairs."""
+    return [(inst.name, inst.graph) for inst in _suite_cached(scale)]
+
+
+def largest_web_instances(count: int = 5, *, scale: float = 0.5) -> list[tuple[str, Graph]]:
+    """The ``count`` largest suite instances by edge count (Figure 5 inputs)."""
+    insts = sorted(_suite_cached(scale), key=lambda i: i.m, reverse=True)
+    return [(inst.name, inst.graph) for inst in insts[:count]]

@@ -1,0 +1,47 @@
+"""Plain-text table / series rendering for the experiment scripts.
+
+Everything the paper shows as a plot is emitted here as an aligned text
+table (one row per point / instance) plus optional CSV, so
+``python -m repro.experiments.figureN`` regenerates the figure's data
+series verbatim into the terminal and EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Monospace-aligned table with a header rule."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    out = io.StringIO()
+    out.write("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip() + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in cells:
+        out.write("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip() + "\n")
+    return out.getvalue()
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    out = io.StringIO()
+    out.write(",".join(str(h) for h in headers) + "\n")
+    for row in rows:
+        out.write(",".join(_fmt(c) for c in row) + "\n")
+    return out.getvalue()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)

@@ -1,0 +1,123 @@
+"""Monte-Carlo cross-validation: all solvers against each other at scale.
+
+The test suite proves correctness on thousands of small instances; this
+module is the *operational* counterpart — a runnable randomized audit over
+configurable instance sizes that reports an agreement matrix and certifies
+every returned cut side.  Useful after porting, optimizing, or extending
+any solver::
+
+    python -m repro.experiments.validation --trials 50 --n-max 60
+
+Exit status is non-zero on any disagreement, so it can serve as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+
+import numpy as np
+
+from ..core.api import EXACT_ALGORITHMS, minimum_cut
+from ..generators import connected_gnm, gnm
+from .report import format_table
+
+
+def run_audit(
+    *,
+    trials: int = 50,
+    n_max: int = 40,
+    w_max: int = 9,
+    seed: int = 0,
+    algorithms: tuple[str, ...] = EXACT_ALGORITHMS,
+    include_disconnected: bool = True,
+) -> dict:
+    """Run the audit; returns a report dict (see keys below).
+
+    For every trial a random (possibly disconnected) weighted graph is
+    solved by every algorithm in ``algorithms``; all exact values must
+    agree and every side must certify.  Inexact solvers (viecut, matula,
+    karger-stein) are additionally checked to sit in their guaranteed
+    ranges relative to the exact value.
+    """
+    rng = np.random.default_rng(seed)
+    disagreements: list[dict] = []
+    uncertified: list[dict] = []
+    guarantee_violations: list[dict] = []
+    value_hist: Counter = Counter()
+
+    for trial in range(trials):
+        n = int(rng.integers(2, n_max))
+        max_m = n * (n - 1) // 2
+        if include_disconnected and rng.random() < 0.2:
+            m = min(int(rng.integers(0, max(n, 1))), max_m)
+            g = gnm(n, m, rng=rng, weights=(1, w_max))
+        else:
+            m = min(int(rng.integers(n - 1, 3 * n)), max_m)
+            g = connected_gnm(n, m, rng=rng, weights=(1, w_max))
+
+        values: dict[str, int] = {}
+        for algo in algorithms:
+            res = minimum_cut(g, algorithm=algo, rng=int(rng.integers(1 << 31)))
+            values[algo] = res.value
+            if res.side is not None and not res.verify(g):
+                uncertified.append({"trial": trial, "algorithm": algo, "value": res.value})
+        if len(set(values.values())) != 1:
+            disagreements.append({"trial": trial, "n": g.n, "m": g.m, "values": values})
+            continue
+        lam = next(iter(values.values()))
+        value_hist[lam] += 1
+
+        vc = minimum_cut(g, algorithm="viecut", rng=int(rng.integers(1 << 31)))
+        if vc.value < lam or not vc.verify(g):
+            guarantee_violations.append({"trial": trial, "algorithm": "viecut", "value": vc.value, "lambda": lam})
+        mt = minimum_cut(g, algorithm="matula", eps=0.5, rng=int(rng.integers(1 << 31)))
+        if not (lam <= mt.value <= 2.5 * lam) or not mt.verify(g):
+            guarantee_violations.append({"trial": trial, "algorithm": "matula", "value": mt.value, "lambda": lam})
+        ks = minimum_cut(g, algorithm="karger-stein", rng=int(rng.integers(1 << 31)))
+        if ks.value < lam or not ks.verify(g):
+            guarantee_violations.append({"trial": trial, "algorithm": "karger-stein", "value": ks.value, "lambda": lam})
+
+    return {
+        "trials": trials,
+        "algorithms": list(algorithms),
+        "disagreements": disagreements,
+        "uncertified": uncertified,
+        "guarantee_violations": guarantee_violations,
+        "value_histogram": dict(sorted(value_hist.items())),
+        "passed": not (disagreements or uncertified or guarantee_violations),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trials", type=int, default=50)
+    ap.add_argument("--n-max", type=int, default=40)
+    ap.add_argument("--w-max", type=int, default=9)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--no-disconnected", action="store_true")
+    args = ap.parse_args(argv)
+
+    report = run_audit(
+        trials=args.trials,
+        n_max=args.n_max,
+        w_max=args.w_max,
+        seed=args.seed,
+        include_disconnected=not args.no_disconnected,
+    )
+    print(f"== Monte-Carlo solver audit: {report['trials']} trials ==")
+    print(f"algorithms: {', '.join(report['algorithms'])}")
+    rows = [[k, v] for k, v in report["value_histogram"].items()]
+    print(format_table(["lambda", "instances"], rows))
+    for key in ("disagreements", "uncertified", "guarantee_violations"):
+        entries = report[key]
+        print(f"{key}: {len(entries)}")
+        for e in entries[:5]:
+            print(f"  {e}")
+    print("PASSED" if report["passed"] else "FAILED")
+    return 0 if report["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

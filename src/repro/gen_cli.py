@@ -1,0 +1,112 @@
+"""Instance generator CLI: ``python -m repro.gen_cli``.
+
+Writes benchmark instances (RHG / RMAT / Chung–Lu / G(n,m) / the Table-1
+suite worlds) to METIS, DIMACS, or edge-list files — the companion tool to
+``repro-mincut`` for preparing experiment inputs.
+
+Examples::
+
+    python -m repro.gen_cli rhg --n 4096 --avg-degree 32 -o rhg.graph
+    python -m repro.gen_cli rmat --scale 12 --avg-degree 16 -o rmat.graph
+    python -m repro.gen_cli chung-lu --n 8192 --avg-degree 24 --gamma 2.3 \
+        --communities 32 -o web.graph --format dimacs
+    python -m repro.gen_cli world --name uk-web-like --k 6 -o core.graph
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .generators import chung_lu, connected_gnm, gnm, rhg, rmat
+from .generators.worlds import DEFAULT_WORLDS, build_instances
+from .graph.dimacs import write_dimacs
+from .graph.io import write_edge_list, write_metis
+
+_WRITERS = {
+    "metis": write_metis,
+    "dimacs": write_dimacs,
+    "edgelist": write_edge_list,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(prog="repro-gen", description="Generate benchmark instances.")
+    ap.add_argument("-o", "--output", required=True, help="output file")
+    ap.add_argument("--format", choices=sorted(_WRITERS), default="metis")
+    ap.add_argument("--seed", type=int, default=0)
+    sub = ap.add_subparsers(dest="family", required=True)
+
+    p = sub.add_parser("rhg", help="random hyperbolic graph (paper Appendix A.1)")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--avg-degree", type=float, required=True)
+    p.add_argument("--alpha", type=float, default=2.0, help="gamma = 2*alpha + 1")
+
+    p = sub.add_parser("rmat", help="RMAT recursive-matrix graph")
+    p.add_argument("--scale", type=int, required=True, help="n = 2**scale")
+    p.add_argument("--avg-degree", type=float, required=True)
+
+    p = sub.add_parser("chung-lu", help="power-law graph with planted communities")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--avg-degree", type=float, required=True)
+    p.add_argument("--gamma", type=float, default=2.5)
+    p.add_argument("--communities", type=int, default=0)
+    p.add_argument("--mu", type=float, default=0.5)
+
+    p = sub.add_parser("gnm", help="uniform G(n, m)")
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--m", type=int, required=True)
+    p.add_argument("--connected", action="store_true")
+    p.add_argument("--weights", type=int, nargs=2, metavar=("LO", "HI"))
+
+    p = sub.add_parser("world", help="one Table-1 suite k-core instance")
+    p.add_argument("--name", choices=[w.name for w in DEFAULT_WORLDS], required=True)
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--scale", type=float, default=1.0)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        graph = _generate(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _WRITERS[args.format](graph, args.output)
+    print(f"wrote {args.output}: n={graph.n} m={graph.m} ({args.format})")
+    return 0
+
+
+def _generate(args):
+    if args.family == "rhg":
+        return rhg(args.n, args.avg_degree, alpha=args.alpha, rng=args.seed)
+    if args.family == "rmat":
+        return rmat(args.scale, args.avg_degree, rng=args.seed)
+    if args.family == "chung-lu":
+        return chung_lu(
+            args.n,
+            args.avg_degree,
+            gamma=args.gamma,
+            communities=args.communities,
+            mu=args.mu,
+            rng=args.seed,
+        )
+    if args.family == "gnm":
+        weights = tuple(args.weights) if args.weights else None
+        maker = connected_gnm if args.connected else gnm
+        return maker(args.n, args.m, rng=args.seed, weights=weights)
+    if args.family == "world":
+        spec = next(w for w in DEFAULT_WORLDS if w.name == args.name)
+        for inst in build_instances(spec, scale=args.scale):
+            if inst.k == args.k:
+                return inst.graph
+        raise ValueError(
+            f"world {args.name} has no k={args.k} core at scale {args.scale} "
+            f"(available k: {spec.ks})"
+        )
+    raise ValueError(f"unknown family {args.family!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""Workload generators: RHG, RMAT, Chung–Lu, G(n,m), and the instance suite."""
+
+from .chung_lu import chung_lu, powerlaw_weights
+from .gnm import connected_gnm, gnm
+from .rhg import radius_for_avg_degree, rhg, sample_points
+from .rmat import rmat
+from .worlds import DEFAULT_WORLDS, Instance, WorldSpec, build_instances, build_suite, build_world
+
+__all__ = [
+    "chung_lu",
+    "powerlaw_weights",
+    "connected_gnm",
+    "gnm",
+    "radius_for_avg_degree",
+    "rhg",
+    "sample_points",
+    "rmat",
+    "DEFAULT_WORLDS",
+    "Instance",
+    "WorldSpec",
+    "build_instances",
+    "build_suite",
+    "build_world",
+]

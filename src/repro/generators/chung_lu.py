@@ -1,0 +1,106 @@
+"""Chung–Lu power-law graphs with optional planted communities.
+
+Stand-in family for the paper's real-world web/social instances (DESIGN.md
+§2): power-law degree sequences create the high-degree hubs whose priority
+values overshoot ``λ̂`` (the effect the bounded queues of §3.1.2 exploit),
+and planted communities create the clusters VieCut's label propagation
+contracts.
+
+Edges are drawn by the Norros–Reittu / "weighted endpoint sampling"
+approximation of the Chung–Lu model: both endpoints of every edge are
+sampled with probability proportional to their target weight
+``w_i ∝ (i + i0)^(-1/(γ-1))``, duplicates merged.  With communities, a
+``mu`` fraction of edge draws is confined to a random community (endpoints
+re-sampled within it, by the same weights).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.builder import from_edges
+from ..graph.csr import Graph
+
+
+def powerlaw_weights(n: int, gamma: float, *, i0: float = 1.0) -> np.ndarray:
+    """Expected-degree weights following a power law with exponent ``gamma``."""
+    if gamma <= 1:
+        raise ValueError(f"gamma must exceed 1, got {gamma}")
+    ranks = np.arange(n, dtype=np.float64) + i0
+    return ranks ** (-1.0 / (gamma - 1.0))
+
+
+def chung_lu(
+    n: int,
+    avg_degree: float,
+    *,
+    gamma: float = 2.5,
+    communities: int = 0,
+    mu: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+    weights: tuple[int, int] | None = None,
+) -> Graph:
+    """Power-law graph with ``n`` vertices and ~``avg_degree * n / 2`` edges.
+
+    Parameters
+    ----------
+    gamma:
+        Degree-distribution exponent (2 < γ ≤ 3 is web/social territory).
+    communities:
+        Number of planted communities (0 disables the community structure).
+    mu:
+        Fraction of edge draws confined within a community.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not (0.0 <= mu <= 1.0):
+        raise ValueError(f"mu must be in [0, 1], got {mu}")
+    if communities < 0:
+        raise ValueError(f"communities must be non-negative, got {communities}")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+
+    num_edges = int(round(avg_degree * n / 2))
+    if n == 0 or num_edges == 0:
+        return from_edges(n, [], [])
+
+    w = powerlaw_weights(n, gamma)
+    # shuffle so vertex id does not encode degree rank
+    perm = rng.permutation(n)
+    w = w[perm]
+    p = w / w.sum()
+
+    if communities > 1:
+        membership = rng.integers(0, communities, size=n)
+        intra = int(round(mu * num_edges))
+        inter = num_edges - intra
+        us = [rng.choice(n, size=inter, p=p)]
+        vs = [rng.choice(n, size=inter, p=p)]
+        # intra-community draws, grouped per community for vector sampling
+        comm_of_draw = rng.integers(0, communities, size=intra)
+        for comm in range(communities):
+            cnt = int((comm_of_draw == comm).sum())
+            if cnt == 0:
+                continue
+            members = np.flatnonzero(membership == comm)
+            if len(members) < 2:
+                # degenerate community: fall back to global draws
+                us.append(rng.choice(n, size=cnt, p=p))
+                vs.append(rng.choice(n, size=cnt, p=p))
+                continue
+            pc = p[members] / p[members].sum()
+            us.append(rng.choice(members, size=cnt, p=pc))
+            vs.append(rng.choice(members, size=cnt, p=pc))
+        u = np.concatenate(us)
+        v = np.concatenate(vs)
+    else:
+        u = rng.choice(n, size=num_edges, p=p)
+        v = rng.choice(n, size=num_edges, p=p)
+
+    ws = None
+    if weights is not None:
+        lo_w, hi_w = weights
+        if lo_w < 1 or hi_w < lo_w:
+            raise ValueError(f"invalid weight range {weights}")
+        ws = rng.integers(lo_w, hi_w + 1, size=len(u), dtype=np.int64)
+    return from_edges(n, u, v, ws)

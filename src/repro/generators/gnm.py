@@ -1,0 +1,142 @@
+"""Uniform G(n, m) random graphs (plus connected and weighted variants).
+
+Workhorse for tests and small benchmark instances.  Sampling is rejection
+over vectorized batches: draw endpoint pairs, canonicalize, drop self-loops
+and duplicates, repeat until ``m`` distinct edges exist — O(m) expected for
+the sparse regimes used here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.builder import from_edges
+from ..graph.csr import Graph
+
+
+def gnm(
+    n: int,
+    m: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    weights: tuple[int, int] | None = None,
+) -> Graph:
+    """Uniform simple graph with ``n`` vertices and ``m`` distinct edges.
+
+    Parameters
+    ----------
+    weights:
+        ``(low, high)`` for uniform integer weights in ``[low, high]``;
+        ``None`` gives unit weights.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    max_edges = n * (n - 1) // 2
+    if m < 0 or m > max_edges:
+        raise ValueError(f"m must be in [0, {max_edges}], got {m}")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+
+    if m > max_edges // 2 and n <= 4096:
+        # dense regime: sample from the explicit pair universe
+        iu = np.triu_indices(n, k=1)
+        idx = rng.choice(max_edges, size=m, replace=False)
+        us, vs = iu[0][idx], iu[1][idx]
+    else:
+        chosen: set[int] = set()
+        us_list: list[np.ndarray] = []
+        vs_list: list[np.ndarray] = []
+        need = m
+        while need > 0:
+            batch = max(1024, int(need * 1.3))
+            a = rng.integers(0, n, size=batch, dtype=np.int64)
+            b = rng.integers(0, n, size=batch, dtype=np.int64)
+            lo = np.minimum(a, b)
+            hi = np.maximum(a, b)
+            valid = lo != hi
+            keys = (lo[valid] * n + hi[valid]).tolist()
+            fresh_lo, fresh_hi = [], []
+            for k in keys:
+                if k not in chosen:
+                    chosen.add(k)
+                    fresh_lo.append(k // n)
+                    fresh_hi.append(k % n)
+                    if len(chosen) == m:
+                        break
+            us_list.append(np.array(fresh_lo, dtype=np.int64))
+            vs_list.append(np.array(fresh_hi, dtype=np.int64))
+            need = m - len(chosen)
+        us = np.concatenate(us_list) if us_list else np.empty(0, dtype=np.int64)
+        vs = np.concatenate(vs_list) if vs_list else np.empty(0, dtype=np.int64)
+
+    ws = None
+    if weights is not None:
+        lo_w, hi_w = weights
+        if lo_w < 1 or hi_w < lo_w:
+            raise ValueError(f"invalid weight range {weights}")
+        ws = rng.integers(lo_w, hi_w + 1, size=m, dtype=np.int64)
+    return from_edges(n, us, vs, ws)
+
+
+def connected_gnm(
+    n: int,
+    m: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    weights: tuple[int, int] | None = None,
+) -> Graph:
+    """G(n, m)-like graph guaranteed connected.
+
+    A random spanning tree (uniform attachment chain over a random
+    permutation) is laid down first, then ``m - (n-1)`` additional distinct
+    random edges.  Requires ``m >= n - 1``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if m < n - 1:
+        raise ValueError(f"connected graph on {n} vertices needs m >= {n - 1}, got {m}")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+
+    perm = rng.permutation(n)
+    # attach each new vertex to a uniformly random earlier vertex
+    parents = np.array(
+        [perm[int(rng.integers(i))] for i in range(1, n)], dtype=np.int64
+    )
+    tree_us = parents
+    tree_vs = perm[1:]
+
+    extra = m - (n - 1)
+    chosen = {
+        int(min(u, v)) * n + int(max(u, v)) for u, v in zip(tree_us.tolist(), tree_vs.tolist())
+    }
+    us_list = [tree_us]
+    vs_list = [tree_vs]
+    while extra > 0:
+        batch = max(1024, int(extra * 1.3))
+        a = rng.integers(0, n, size=batch, dtype=np.int64)
+        b = rng.integers(0, n, size=batch, dtype=np.int64)
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        valid = lo != hi
+        fresh_lo, fresh_hi = [], []
+        for k in (lo[valid] * n + hi[valid]).tolist():
+            if k not in chosen:
+                chosen.add(k)
+                fresh_lo.append(k // n)
+                fresh_hi.append(k % n)
+                if len(fresh_lo) == extra:
+                    break
+        extra -= len(fresh_lo)
+        us_list.append(np.array(fresh_lo, dtype=np.int64))
+        vs_list.append(np.array(fresh_hi, dtype=np.int64))
+
+    us = np.concatenate(us_list)
+    vs = np.concatenate(vs_list)
+    ws = None
+    if weights is not None:
+        lo_w, hi_w = weights
+        if lo_w < 1 or hi_w < lo_w:
+            raise ValueError(f"invalid weight range {weights}")
+        ws = rng.integers(lo_w, hi_w + 1, size=m, dtype=np.int64)
+    return from_edges(n, us, vs, ws)

@@ -1,0 +1,78 @@
+"""RMAT recursive-matrix graphs (Chakrabarti & Faloutsos [6]).
+
+The paper cites RMAT instances when dismissing the Karger–Stein MPI
+implementation ("NOI can find the minimum cut on RMAT graphs of equal size
+in less than 2 seconds using a single core") — we generate them for the
+same comparison and as one family of web-like instances.
+
+Each edge picks a quadrant of the adjacency matrix ``scale`` times with
+probabilities ``(a, b, c, d)``; the skew produces heavy-tailed degrees and
+community-ish structure.  Generation is fully vectorized: one
+``(edges, scale)`` uniform matrix decides all quadrant choices at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.builder import from_edges
+from ..graph.csr import Graph
+
+
+def rmat(
+    scale: int,
+    avg_degree: float,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    rng: np.random.Generator | int | None = None,
+    weights: tuple[int, int] | None = None,
+) -> Graph:
+    """RMAT graph with ``n = 2**scale`` vertices.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the vertex count.
+    avg_degree:
+        Target average degree; ``avg_degree * n / 2`` edge draws are made
+        (duplicates merge, so the realized average is slightly lower — the
+        natural RMAT behaviour).
+    a, b, c:
+        Quadrant probabilities (``d = 1 - a - b - c``); defaults are the
+        standard Graph500-style skew.
+    """
+    if scale < 0:
+        raise ValueError(f"scale must be non-negative, got {scale}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0 or avg_degree < 0:
+        raise ValueError("invalid RMAT parameters")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+
+    n = 1 << scale
+    num_edges = int(round(avg_degree * n / 2))
+    if num_edges == 0:
+        return from_edges(n, [], [])
+
+    # quadrant thresholds: P(row-bit=1) etc. derived per draw
+    u = np.zeros(num_edges, dtype=np.int64)
+    v = np.zeros(num_edges, dtype=np.int64)
+    p_right = b + d  # probability column bit is 1
+    for _level in range(scale):
+        r1 = rng.random(num_edges)
+        r2 = rng.random(num_edges)
+        col_bit = r1 < p_right
+        # row bit conditioned on the column bit
+        p_row_given = np.where(col_bit, d / (b + d), c / (a + c))
+        row_bit = r2 < p_row_given
+        u = (u << 1) | row_bit
+        v = (v << 1) | col_bit
+    ws = None
+    if weights is not None:
+        lo_w, hi_w = weights
+        if lo_w < 1 or hi_w < lo_w:
+            raise ValueError(f"invalid weight range {weights}")
+        ws = rng.integers(lo_w, hi_w + 1, size=num_edges, dtype=np.int64)
+    return from_edges(n, u, v, ws)

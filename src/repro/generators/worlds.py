@@ -1,0 +1,169 @@
+"""Synthetic "real-world-like" instance suite (Table 1 pipeline).
+
+The paper's real-world instances are k-cores of six large web/social crawls
+(Table 1): for each base graph several values of k are chosen such that the
+core's minimum cut is *not* the trivial minimum-degree cut, and experiments
+run on the largest connected component of each core.
+
+Those crawls are unavailable offline and beyond pure-Python scale, so this
+module defines a suite of named synthetic base graphs with the properties
+the paper's analysis leans on (power-law hubs, communities, low diameter —
+see DESIGN.md §2), and reproduces the *pipeline* exactly: k-core →
+largest component → instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.kcore import k_core_largest_component
+from .chung_lu import chung_lu
+from .rmat import rmat
+
+
+@dataclass
+class WorldSpec:
+    """A named base-graph recipe plus the k values of its cores.
+
+    ``pod_attach`` plants weakly-attached dense pods (cliques larger than
+    ``max(ks)``, attached by that many edges each): the pods survive every
+    k-core, so the core's minimum cut is at most the attachment width —
+    reproducing the paper's Table-1 situation where most selected cores
+    have λ far below δ (often λ = 1).  Empty tuple = no pods.
+    """
+
+    name: str
+    kind: str  # "chung_lu" | "rmat"
+    n: int
+    avg_degree: float
+    ks: tuple[int, ...]
+    gamma: float = 2.5
+    communities: int = 0
+    mu: float = 0.5
+    seed: int = 0
+    pod_attach: tuple[int, ...] = ()
+
+
+@dataclass
+class Instance:
+    """One experiment instance: a k-core's largest component."""
+
+    name: str
+    world: str
+    k: int
+    graph: Graph
+    base_n: int
+    base_m: int
+
+    @property
+    def n(self) -> int:
+        return self.graph.n
+
+    @property
+    def m(self) -> int:
+        return self.graph.m
+
+
+#: The default suite: six worlds mirroring Table 1's six base graphs, with
+#: four k-cores each (scaled to pure-Python sizes; scale them up or down
+#: with the ``scale`` argument of :func:`build_suite`).
+DEFAULT_WORLDS: tuple[WorldSpec, ...] = (
+    WorldSpec("hollywood-like", "chung_lu", 4096, 48.0, (8, 12, 16, 24), gamma=2.2, communities=48, mu=0.7, seed=11, pod_attach=(1, 6)),
+    WorldSpec("orkut-like", "chung_lu", 4096, 32.0, (6, 8, 10, 12), gamma=2.5, communities=32, mu=0.6, seed=12, pod_attach=(5, 4)),
+    WorldSpec("uk-web-like", "rmat", 4096, 24.0, (4, 6, 8, 10), seed=13, pod_attach=(1, 1)),
+    WorldSpec("twitter-like", "chung_lu", 8192, 24.0, (4, 6, 8, 10), gamma=2.1, communities=64, mu=0.5, seed=14, pod_attach=(1, 3)),
+    WorldSpec("gsh-host-like", "rmat", 8192, 16.0, (3, 4, 6, 8), seed=15, pod_attach=(1, 1)),
+    WorldSpec("wiki-like", "chung_lu", 2048, 16.0, (3, 4, 6, 8), gamma=2.8, communities=16, mu=0.6, seed=16, pod_attach=(2, 1)),
+)
+
+
+def build_world(spec: WorldSpec, *, scale: float = 1.0) -> Graph:
+    """Materialize a world's base graph (``scale`` multiplies n)."""
+    n = max(16, int(round(spec.n * scale)))
+    rng = np.random.default_rng(spec.seed)
+    if spec.kind == "chung_lu":
+        base = chung_lu(
+            n,
+            spec.avg_degree,
+            gamma=spec.gamma,
+            communities=spec.communities,
+            mu=spec.mu,
+            rng=rng,
+        )
+    elif spec.kind == "rmat":
+        scale_log = max(4, int(round(np.log2(n))))
+        base = rmat(scale_log, spec.avg_degree, rng=rng)
+    else:
+        raise ValueError(f"unknown world kind {spec.kind!r}")
+    if spec.pod_attach:
+        base = _plant_pods(base, spec, rng)
+    return base
+
+
+def _plant_pods(base: Graph, spec: WorldSpec, rng: np.random.Generator) -> Graph:
+    """Attach one clique pod per entry of ``spec.pod_attach``.
+
+    Pod size exceeds ``max(ks)`` so every k-core keeps the pod intact; the
+    attachment width (number of edges to the base graph) upper-bounds the
+    core's minimum cut.
+    """
+    pod_size = max(spec.ks) + 4
+    us: list[int] = []
+    vs: list[int] = []
+    next_id = base.n
+    # anchor pods on well-connected base vertices so the pod's attachment
+    # survives into the core's largest component
+    degs = base.degrees()
+    anchors_pool = np.argsort(degs)[-max(64, len(spec.pod_attach) * 8) :]
+    for width in spec.pod_attach:
+        pod = list(range(next_id, next_id + pod_size))
+        next_id += pod_size
+        for i in range(pod_size):
+            for j in range(i + 1, pod_size):
+                us.append(pod[i])
+                vs.append(pod[j])
+        anchors = rng.choice(anchors_pool, size=width, replace=False)
+        for idx, a in enumerate(anchors.tolist()):
+            us.append(pod[idx % pod_size])
+            vs.append(int(a))
+    bu, bv, bw = base.edge_arrays()
+    all_u = np.concatenate((bu, np.array(us, dtype=np.int64)))
+    all_v = np.concatenate((bv, np.array(vs, dtype=np.int64)))
+    all_w = np.concatenate((bw, np.ones(len(us), dtype=np.int64)))
+    from ..graph.builder import from_edges
+
+    return from_edges(next_id, all_u, all_v, all_w)
+
+
+def build_instances(spec: WorldSpec, *, scale: float = 1.0) -> list[Instance]:
+    """All k-core instances of one world (empty cores are skipped)."""
+    base = build_world(spec, scale=scale)
+    out: list[Instance] = []
+    for k in spec.ks:
+        core, _ = k_core_largest_component(base, k)
+        if core.n < 8:
+            continue
+        out.append(
+            Instance(
+                name=f"{spec.name}-k{k}",
+                world=spec.name,
+                k=k,
+                graph=core,
+                base_n=base.n,
+                base_m=base.m,
+            )
+        )
+    return out
+
+
+def build_suite(
+    worlds: tuple[WorldSpec, ...] = DEFAULT_WORLDS, *, scale: float = 1.0
+) -> list[Instance]:
+    """The full synthetic Table-1 suite."""
+    out: list[Instance] = []
+    for spec in worlds:
+        out.extend(build_instances(spec, scale=scale))
+    return out

@@ -1,0 +1,61 @@
+"""Graph substrate: CSR storage, construction, contraction, cores, IO."""
+
+from .builder import GraphBuilder, from_adjacency, from_edges
+from .components import (
+    connected_components,
+    connected_components_bfs,
+    induced_subgraph,
+    is_connected,
+    largest_component,
+)
+from .contract import compose_labels, contract_by_labels, contract_by_union_find, contract_edge
+from .csr import Graph
+from .dimacs import read_dimacs, write_dimacs
+from .parallel_contract import parallel_contract_by_labels
+from .properties import (
+    GraphProfile,
+    conductance_of_cut,
+    degree_histogram,
+    diameter_lower_bound,
+    powerlaw_exponent_estimate,
+    profile,
+)
+from .io import read_edge_list, read_metis, write_edge_list, write_metis
+from .kcore import core_numbers, degeneracy, k_core, k_core_largest_component
+from .validate import GraphInvariantError, check_graph, is_valid
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "from_adjacency",
+    "from_edges",
+    "connected_components",
+    "connected_components_bfs",
+    "induced_subgraph",
+    "is_connected",
+    "largest_component",
+    "compose_labels",
+    "contract_by_labels",
+    "contract_by_union_find",
+    "contract_edge",
+    "parallel_contract_by_labels",
+    "read_dimacs",
+    "write_dimacs",
+    "GraphProfile",
+    "conductance_of_cut",
+    "degree_histogram",
+    "diameter_lower_bound",
+    "powerlaw_exponent_estimate",
+    "profile",
+    "read_edge_list",
+    "read_metis",
+    "write_edge_list",
+    "write_metis",
+    "core_numbers",
+    "degeneracy",
+    "k_core",
+    "k_core_largest_component",
+    "GraphInvariantError",
+    "check_graph",
+    "is_valid",
+]

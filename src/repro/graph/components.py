@@ -1,0 +1,121 @@
+"""Connected components over CSR graphs.
+
+Two interchangeable strategies:
+
+* :func:`connected_components` — vectorized min-label propagation
+  (Shiloach–Vishkin flavoured): every round each vertex takes the minimum
+  label among itself and its neighbours, followed by pointer jumping.
+  O((n+m) · rounds) with tiny numpy constants; rounds ≈ O(log n) thanks to
+  the jumping, so this wins on the low-diameter web-like instances.
+* :func:`connected_components_bfs` — classic sequential BFS, used as a
+  cross-check oracle in tests.
+
+A disconnected graph has minimum cut 0, so every solver first calls
+:func:`is_connected` (the paper assumes connected inputs; we make the
+behaviour explicit).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from .csr import Graph
+
+
+def connected_components(graph: Graph) -> tuple[int, np.ndarray]:
+    """Return ``(num_components, labels)`` with dense labels in ``[0, k)``."""
+    return components_from_arcs(graph.n, graph.arc_sources(), graph.adjncy)
+
+
+def components_from_arcs(n: int, src: np.ndarray, dst: np.ndarray) -> tuple[int, np.ndarray]:
+    """Connected components of the graph induced by an arbitrary arc set.
+
+    ``src``/``dst`` need not be symmetric (each undirected edge may appear
+    in either or both directions).  Used directly by label-propagation
+    cluster splitting, which filters the arc arrays by a label mask.
+    """
+    if n == 0:
+        return 0, np.empty(0, dtype=np.int64)
+    labels = np.arange(n, dtype=np.int64)
+    while True:
+        prev = labels
+        labels = labels.copy()
+        # hook: take the minimum neighbour label (both arc directions)
+        np.minimum.at(labels, src, prev[dst])
+        np.minimum.at(labels, dst, prev[src])
+        # pointer jumping until every vertex points at a fixpoint label
+        while True:
+            jumped = labels[labels]
+            if np.array_equal(jumped, labels):
+                break
+            labels = jumped
+        if np.array_equal(labels, prev):
+            break
+    _, dense = np.unique(labels, return_inverse=True)
+    return int(dense.max()) + 1, dense.astype(np.int64)
+
+
+def connected_components_bfs(graph: Graph) -> tuple[int, np.ndarray]:
+    """Sequential BFS labelling (oracle implementation)."""
+    n = graph.n
+    labels = np.full(n, -1, dtype=np.int64)
+    xadj, adjncy = graph.xadj, graph.adjncy
+    comp = 0
+    for s in range(n):
+        if labels[s] != -1:
+            continue
+        labels[s] = comp
+        queue = deque([s])
+        while queue:
+            u = queue.popleft()
+            for v in adjncy[xadj[u] : xadj[u + 1]]:
+                if labels[v] == -1:
+                    labels[v] = comp
+                    queue.append(int(v))
+        comp += 1
+    return comp, labels
+
+
+def is_connected(graph: Graph) -> bool:
+    """True for graphs with exactly one component (empty graph: False)."""
+    if graph.n == 0:
+        return False
+    k, _ = connected_components(graph)
+    return k == 1
+
+
+def largest_component(graph: Graph) -> tuple[Graph, np.ndarray]:
+    """Induced subgraph on the largest component.
+
+    Returns ``(subgraph, old_ids)`` where ``old_ids[i]`` is the original id
+    of subgraph vertex ``i``.  This is the last step of the paper's instance
+    pipeline ("we perform our experiments on the largest connected
+    component", Appendix A.2).
+    """
+    k, labels = connected_components(graph)
+    if k <= 1:
+        return graph, np.arange(graph.n, dtype=np.int64)
+    sizes = np.bincount(labels, minlength=k)
+    target = int(np.argmax(sizes))
+    return induced_subgraph(graph, np.flatnonzero(labels == target))
+
+
+def induced_subgraph(graph: Graph, vertices: np.ndarray) -> tuple[Graph, np.ndarray]:
+    """Induced subgraph on ``vertices`` (sorted unique ids).
+
+    Returns ``(subgraph, old_ids)``; ``old_ids`` equals the sorted vertex
+    array, mapping new ids back to the original graph.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    n = graph.n
+    new_id = np.full(n, -1, dtype=np.int64)
+    new_id[vertices] = np.arange(len(vertices), dtype=np.int64)
+    src = graph.arc_sources()
+    dst = graph.adjncy
+    keep = (new_id[src] != -1) & (new_id[dst] != -1) & (src < dst)
+    from .builder import from_edges  # local import avoids a cycle
+
+    sub = from_edges(len(vertices), new_id[src[keep]], new_id[dst[keep]], graph.adjwgt[keep])
+    return sub, vertices

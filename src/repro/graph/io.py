@@ -1,0 +1,149 @@
+"""Graph file IO: METIS ``.graph`` format and plain weighted edge lists.
+
+METIS is the format used by the paper's code base (VieCut/KaHIP tooling):
+a header line ``n m [fmt]`` followed by one line per vertex listing its
+neighbours 1-indexed, with interleaved edge weights when ``fmt`` has the
+edge-weight bit (``1``/``001``) set.  Comment lines start with ``%``.
+
+The edge-list format is one ``u v [w]`` triple per line (0-indexed), with
+``#`` comments — convenient for quick interchange and for feeding instances
+generated elsewhere.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .builder import from_edges
+from .csr import Graph
+
+
+def write_metis(graph: Graph, path: str | Path) -> None:
+    """Write ``graph`` in METIS format (edge weights included iff non-unit)."""
+    weighted = not graph.is_unweighted()
+    with open(path, "w") as fh:
+        fmt = " 1" if weighted else ""
+        fh.write(f"{graph.n} {graph.m}{fmt}\n")
+        for v in range(graph.n):
+            nbrs = graph.neighbors(v)
+            wgts = graph.weights(v)
+            if weighted:
+                parts = (f"{int(u) + 1} {int(w)}" for u, w in zip(nbrs, wgts))
+            else:
+                parts = (f"{int(u) + 1}" for u in nbrs)
+            fh.write(" ".join(parts))
+            fh.write("\n")
+
+
+def read_metis(path: str | Path) -> Graph:
+    """Read a METIS ``.graph`` file.
+
+    Supports fmt codes ``0``/``00``/``000`` (unweighted) and ``1``/``001``
+    (edge weights).  Vertex weights (``01x``/``1xx``) are rejected — the
+    minimum-cut problem has no use for them here.
+    """
+    with open(path) as fh:
+        return _read_metis_stream(fh)
+
+
+def _read_metis_stream(fh: io.TextIOBase) -> Graph:
+    header: list[str] | None = None
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[int] = []
+    vertex = 0
+    n = m = 0
+    edge_weighted = False
+    for raw in fh:
+        line = raw.strip()
+        if line.startswith("%"):
+            continue
+        if header is None:
+            if not line:
+                continue  # blank lines before the header are ignorable
+            header = line.split()
+            if len(header) < 2:
+                raise ValueError("METIS header must contain n and m")
+            n, m = int(header[0]), int(header[1])
+            if len(header) >= 3:
+                fmt = header[2]
+                stripped = fmt.lstrip("0")
+                if stripped not in ("", "1"):
+                    raise ValueError(f"unsupported METIS fmt {fmt!r} (vertex weights)")
+                edge_weighted = stripped == "1"
+            continue
+        if not line:
+            # an empty adjacency line is an isolated vertex — unless we have
+            # already read all n vertices (trailing newline)
+            if vertex < n:
+                vertex += 1
+            continue
+        tokens = line.split()
+        if edge_weighted:
+            if len(tokens) % 2:
+                raise ValueError(f"vertex {vertex}: odd token count in weighted adjacency")
+            for i in range(0, len(tokens), 2):
+                u = int(tokens[i]) - 1
+                w = int(tokens[i + 1])
+                if u > vertex:  # each undirected edge appears twice; keep one
+                    us.append(vertex)
+                    vs.append(u)
+                    ws.append(w)
+        else:
+            for tok in tokens:
+                u = int(tok) - 1
+                if u > vertex:
+                    us.append(vertex)
+                    vs.append(u)
+                    ws.append(1)
+        vertex += 1
+    if header is None:
+        raise ValueError("empty METIS file")
+    if vertex != n:
+        raise ValueError(f"METIS header declares {n} vertices, file has {vertex}")
+    g = from_edges(n, us, vs, ws)
+    if g.m != m:
+        raise ValueError(f"METIS header declares {m} edges, file has {g.m}")
+    return g
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write ``u v w`` triples, 0-indexed, one edge per line."""
+    us, vs, ws = graph.edge_arrays()
+    with open(path, "w") as fh:
+        fh.write(f"# n={graph.n} m={graph.m}\n")
+        for u, v, w in zip(us, vs, ws):
+            fh.write(f"{int(u)} {int(v)} {int(w)}\n")
+
+
+def read_edge_list(path: str | Path, n: int | None = None) -> Graph:
+    """Read ``u v [w]`` lines (0-indexed, ``#`` comments).
+
+    ``n`` defaults to ``max endpoint + 1``; the ``# n=... m=...`` header
+    written by :func:`write_edge_list` is honoured when present.
+    """
+    us: list[int] = []
+    vs: list[int] = []
+    ws: list[int] = []
+    with open(path) as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if n is None and "n=" in line:
+                    try:
+                        n = int(line.split("n=")[1].split()[0])
+                    except (IndexError, ValueError):
+                        pass
+                continue
+            tokens = line.split()
+            us.append(int(tokens[0]))
+            vs.append(int(tokens[1]))
+            ws.append(int(tokens[2]) if len(tokens) > 2 else 1)
+    if n is None:
+        n = max(max(us, default=-1), max(vs, default=-1)) + 1
+    return from_edges(n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64), np.array(ws, dtype=np.int64))

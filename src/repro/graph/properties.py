@@ -1,0 +1,121 @@
+"""Graph statistics used in the paper's instance analysis.
+
+The evaluation narrative keys on a handful of structural properties:
+average/minimum degree (Table 1, Figure 3's x-axis), degree skew (why
+bounded queues win on web graphs, §4.2), diameter (why the bucket queue's
+large population favours O(1) access on low-diameter graphs, §4.2), and
+power-law fit (the RHG generator's γ = 5).  This module computes them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import Graph
+
+
+@dataclass
+class GraphProfile:
+    """Summary statistics for one instance."""
+
+    n: int
+    m: int
+    min_degree: int
+    max_degree: int
+    avg_degree: float
+    median_degree: float
+    degree_skew: float  # max / median — the hub indicator of §4.2
+    diameter_lower_bound: int
+    total_weight: int
+
+    def as_dict(self) -> dict:
+        return self.__dict__.copy()
+
+
+def profile(graph: Graph) -> GraphProfile:
+    """Compute the instance profile (O(n + m) plus two BFS sweeps)."""
+    if graph.n == 0:
+        raise ValueError("cannot profile an empty graph")
+    degs = graph.degrees()
+    median = float(np.median(degs[degs > 0])) if (degs > 0).any() else 0.0
+    return GraphProfile(
+        n=graph.n,
+        m=graph.m,
+        min_degree=int(degs.min()),
+        max_degree=int(degs.max()),
+        avg_degree=2.0 * graph.m / graph.n,
+        median_degree=median,
+        degree_skew=float(degs.max()) / median if median else 0.0,
+        diameter_lower_bound=diameter_lower_bound(graph),
+        total_weight=graph.total_weight(),
+    )
+
+
+def degree_histogram(graph: Graph) -> np.ndarray:
+    """``hist[d]`` = number of vertices of unweighted degree ``d``."""
+    degs = graph.degrees()
+    if len(degs) == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(degs).astype(np.int64)
+
+
+def powerlaw_exponent_estimate(graph: Graph, d_min: int = 2) -> float:
+    """Maximum-likelihood power-law exponent of the degree tail
+    (Clauset-style MLE with fixed ``d_min``): γ̂ = 1 + k / Σ ln(d/d_min-½).
+
+    Returns ``nan`` when fewer than 10 vertices exceed ``d_min``.
+    """
+    degs = graph.degrees()
+    tail = degs[degs >= d_min].astype(np.float64)
+    if len(tail) < 10:
+        return float("nan")
+    return 1.0 + len(tail) / float(np.log(tail / (d_min - 0.5)).sum())
+
+
+def diameter_lower_bound(graph: Graph, start: int = 0) -> int:
+    """Double-sweep BFS lower bound on the diameter of the start vertex's
+    component (exact on trees, excellent on the low-diameter instances the
+    paper uses; unweighted hops)."""
+    if graph.n == 0:
+        return 0
+    far, _ = _bfs_farthest(graph, start)
+    _, dist = _bfs_farthest(graph, far)
+    return dist
+
+
+def _bfs_farthest(graph: Graph, source: int) -> tuple[int, int]:
+    xadj, adjncy = graph.xadj, graph.adjncy
+    dist = np.full(graph.n, -1, dtype=np.int64)
+    dist[source] = 0
+    dq = deque([source])
+    last = source
+    while dq:
+        v = dq.popleft()
+        last = v
+        for u in adjncy[xadj[v] : xadj[v + 1]]:
+            if dist[u] == -1:
+                dist[u] = dist[v] + 1
+                dq.append(int(u))
+    return last, int(dist[last])
+
+
+def conductance_of_cut(graph: Graph, side: np.ndarray) -> float:
+    """Cut conductance ``c(A) / min(vol(A), vol(V∖A))`` — the balance
+    metric distinguishing the RHG instances' near-bisections from the
+    web-like instances' hanging-pod cuts (Appendix A)."""
+    side = np.asarray(side, dtype=bool)
+    if len(side) != graph.n:
+        raise ValueError("side mask length must equal n")
+    if not side.any() or side.all():
+        raise ValueError("side must be a proper non-empty subset")
+    wdeg = graph.weighted_degrees()
+    vol_a = int(wdeg[side].sum())
+    vol_b = int(wdeg[~side].sum())
+    denom = min(vol_a, vol_b)
+    if denom == 0:
+        return math.inf
+    return graph.cut_value(side) / denom

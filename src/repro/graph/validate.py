@@ -1,0 +1,83 @@
+"""Structural invariant checks for :class:`~repro.graph.csr.Graph`.
+
+Called by tests (and available to users ingesting untrusted files) to
+verify the CSR invariants every solver in this package relies on:
+
+1. offsets are monotone and match the arc-array length;
+2. arc heads are valid vertex ids, with no self-loop arcs;
+3. every arc weight is positive;
+4. the arc set is symmetric with equal weights: for every arc ``u->v`` of
+   weight ``w`` there is exactly one matching ``v->u`` of weight ``w``
+   (undirectedness);
+5. no parallel arcs (duplicate heads within one adjacency slice) — parallel
+   input edges must have been merged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import Graph
+
+
+class GraphInvariantError(AssertionError):
+    """Raised by :func:`check_graph` when an invariant is violated."""
+
+
+def check_graph(graph: Graph, *, require_sorted: bool = False) -> None:
+    """Raise :class:`GraphInvariantError` on the first violated invariant.
+
+    ``require_sorted`` additionally asserts every adjacency slice is sorted
+    by head id — true for every graph this package constructs (builder,
+    contraction, IO) and relied on by binary-search lookups; off by default
+    so hand-assembled arrays with a different order still validate.
+    """
+    xadj, adjncy, adjwgt = graph.xadj, graph.adjncy, graph.adjwgt
+    n = graph.n
+
+    if (np.diff(xadj) < 0).any():
+        raise GraphInvariantError("xadj offsets are not monotone")
+    if xadj[0] != 0:
+        raise GraphInvariantError("xadj[0] must be 0")
+    if xadj[-1] != len(adjncy):
+        raise GraphInvariantError("xadj[-1] must equal number of arcs")
+    if len(adjncy) == 0:
+        return
+    if adjncy.min() < 0 or adjncy.max() >= n:
+        raise GraphInvariantError("arc head out of range")
+    if adjwgt.min() <= 0:
+        raise GraphInvariantError("non-positive arc weight")
+
+    src = graph.arc_sources()
+    if (src == adjncy).any():
+        raise GraphInvariantError("self-loop arc present")
+
+    # symmetry incl. weights: multiset of (u, v, w) equals multiset of (v, u, w)
+    fwd = np.lexsort((adjwgt, adjncy, src))
+    bwd = np.lexsort((adjwgt, src, adjncy))
+    if not (
+        np.array_equal(src[fwd], adjncy[bwd])
+        and np.array_equal(adjncy[fwd], src[bwd])
+        and np.array_equal(adjwgt[fwd], adjwgt[bwd])
+    ):
+        raise GraphInvariantError("arc set is not symmetric with equal weights")
+
+    # no parallel arcs: (src, head) pairs are unique
+    keys = src * np.int64(n) + adjncy
+    if len(np.unique(keys)) != len(keys):
+        raise GraphInvariantError("parallel arcs present (unmerged multi-edges)")
+
+    if require_sorted:
+        # heads ascend within every adjacency slice <=> the (src, head) key
+        # array is globally ascending (src blocks are contiguous)
+        if (np.diff(keys) <= 0).any():
+            raise GraphInvariantError("adjacency slices are not sorted by head id")
+
+
+def is_valid(graph: Graph) -> bool:
+    """Boolean wrapper around :func:`check_graph`."""
+    try:
+        check_graph(graph)
+    except GraphInvariantError:
+        return False
+    return True

@@ -1,0 +1,13 @@
+"""Shared utilities: timing, statistics."""
+
+from .stats import geometric_mean, performance_profile, speedup, summarize
+from .timers import RepeatTimer, Timer
+
+__all__ = [
+    "geometric_mean",
+    "performance_profile",
+    "speedup",
+    "summarize",
+    "RepeatTimer",
+    "Timer",
+]

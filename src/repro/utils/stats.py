@@ -1,0 +1,84 @@
+"""Small statistics helpers shared by the experiment harness.
+
+The paper reports geometric-mean speedups (e.g. "average (geometric) speedup
+factor of 1.35") and performance profiles (Figure 4).  Both are implemented
+here so every experiment script computes them identically.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values.
+
+    Raises
+    ------
+    ValueError
+        If the sequence is empty or contains non-positive entries.
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Speedup factor of ``improved`` over ``baseline`` (>1 means faster)."""
+    if improved <= 0:
+        raise ValueError("improved time must be positive")
+    return baseline / improved
+
+
+def performance_profile(
+    times: Mapping[str, Sequence[float | None]],
+) -> dict[str, list[float]]:
+    """Compute the paper's Figure-4 performance profile.
+
+    Parameters
+    ----------
+    times:
+        ``algorithm -> per-instance running time``; ``None`` marks an
+        instance the algorithm could not run ("too large" in the paper),
+        which is plotted below zero there and mapped to ``-0.1`` here.
+
+    Returns
+    -------
+    ``algorithm -> sorted list of t_best / t_algo ratios`` (ascending), one
+    entry per instance.  A ratio of 1.0 means the algorithm was the fastest
+    on that instance.
+    """
+    algos = list(times)
+    if not algos:
+        return {}
+    n_instances = len(times[algos[0]])
+    for a in algos:
+        if len(times[a]) != n_instances:
+            raise ValueError("all algorithms must cover the same instances")
+    ratios: dict[str, list[float]] = {a: [] for a in algos}
+    for i in range(n_instances):
+        observed = [times[a][i] for a in algos if times[a][i] is not None]
+        if not observed:
+            continue
+        best = min(observed)
+        for a in algos:
+            t = times[a][i]
+            ratios[a].append(-0.1 if t is None else best / t)
+    for a in algos:
+        ratios[a].sort()
+    return ratios
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """min/mean/max summary used in experiment reports."""
+    if not values:
+        raise ValueError("summarize of empty sequence")
+    return {
+        "min": min(values),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }

@@ -1,0 +1,108 @@
+"""Lightweight wall-clock timing helpers used by solvers and experiments.
+
+The paper reports average running time over five repetitions per instance;
+:class:`RepeatTimer` reproduces that protocol.  :class:`Timer` is a
+context-manager stopwatch that can be nested to attribute time to phases
+(e.g. ``viecut`` seeding vs. ``capforest`` rounds vs. ``contract``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Timer:
+    """A reentrant stopwatch accumulating elapsed seconds per named phase.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t.phase("scan"):
+    ...     pass
+    >>> t.total("scan") >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+        self._starts: dict[str, float] = {}
+
+    def phase(self, name: str) -> "_PhaseContext":
+        """Return a context manager that accumulates into phase ``name``."""
+        return _PhaseContext(self, name)
+
+    def start(self, name: str) -> None:
+        self._starts[name] = time.perf_counter()
+
+    def stop(self, name: str) -> float:
+        elapsed = time.perf_counter() - self._starts.pop(name)
+        self._totals[name] = self._totals.get(name, 0.0) + elapsed
+        return elapsed
+
+    def total(self, name: str) -> float:
+        """Total accumulated seconds for ``name`` (0.0 if never started)."""
+        return self._totals.get(name, 0.0)
+
+    def totals(self) -> dict[str, float]:
+        """A copy of all per-phase totals."""
+        return dict(self._totals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v:.4f}s" for k, v in sorted(self._totals.items()))
+        return f"Timer({inner})"
+
+
+class _PhaseContext:
+    def __init__(self, timer: Timer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+
+    def __enter__(self) -> "_PhaseContext":
+        self._timer.start(self._name)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._timer.stop(self._name)
+
+
+@dataclass
+class RepeatTimer:
+    """Run a callable ``repetitions`` times and report the mean, as the paper does.
+
+    Attributes
+    ----------
+    repetitions:
+        Number of timed runs (the paper uses five).
+    warmup:
+        Untimed runs executed first (JIT-free Python still benefits from
+        warming OS caches and numpy buffers).
+    """
+
+    repetitions: int = 5
+    warmup: int = 0
+    times: list[float] = field(default_factory=list)
+
+    def measure(self, fn, *args, **kwargs):
+        """Time ``fn(*args, **kwargs)``; returns (mean_seconds, last_result)."""
+        result = None
+        for _ in range(self.warmup):
+            result = fn(*args, **kwargs)
+        self.times = []
+        for _ in range(self.repetitions):
+            t0 = time.perf_counter()
+            result = fn(*args, **kwargs)
+            self.times.append(time.perf_counter() - t0)
+        return self.mean, result
+
+    @property
+    def mean(self) -> float:
+        if not self.times:
+            raise ValueError("measure() has not been called")
+        return sum(self.times) / len(self.times)
+
+    @property
+    def best(self) -> float:
+        if not self.times:
+            raise ValueError("measure() has not been called")
+        return min(self.times)

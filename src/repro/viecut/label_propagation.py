@@ -1,0 +1,257 @@
+"""Weighted label propagation clustering (Raghavan et al.), as used by VieCut.
+
+VieCut (paper §2.4) finds clusters with strong intra-cluster connectivity
+and contracts them, betting that the minimum cut does not split a cluster.
+Label propagation: every vertex starts in its own cluster; in each of a
+fixed number of rounds the vertices are visited in random order and each
+adopts the label with the largest total incident edge weight among its
+neighbours.  Sequential running time is O(n + m) per round.
+
+Cluster contraction must only merge *connected* vertex sets, so
+:func:`cluster_labels` finalizes by unioning the endpoints of every edge
+whose endpoints share a label — any same-label vertices that are not
+actually connected through their label class stay separate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import Graph
+
+
+def propagate_labels(
+    graph: Graph,
+    *,
+    iterations: int = 2,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Raw label propagation: ``int64[n]`` label per vertex (not dense).
+
+    Ties are broken towards the currently held label (stability), then
+    towards the first maximal label encountered in adjacency order.
+    """
+    if iterations < 0:
+        raise ValueError(f"iterations must be non-negative, got {iterations}")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    n = graph.n
+    labels = list(range(n))
+    xadj = graph.xadj.tolist()
+    adjncy = graph.adjncy
+    adjwgt = graph.adjwgt
+
+    for _ in range(iterations):
+        order = rng.permutation(n)
+        changed = 0
+        for v in order.tolist():
+            lo, hi = xadj[v], xadj[v + 1]
+            if lo == hi:
+                continue
+            nbrs = adjncy[lo:hi].tolist()
+            wgts = adjwgt[lo:hi].tolist()
+            gain: dict[int, int] = {}
+            for u, w in zip(nbrs, wgts):
+                lab = labels[u]
+                gain[lab] = gain.get(lab, 0) + w
+            own = labels[v]
+            best_label, best_gain = own, gain.get(own, 0)
+            for lab, g in gain.items():
+                if g > best_gain:
+                    best_label, best_gain = lab, g
+            if best_label != own:
+                labels[v] = best_label
+                changed += 1
+        if changed == 0:
+            break
+    return np.array(labels, dtype=np.int64)
+
+
+def propagate_labels_sync(
+    graph: Graph,
+    *,
+    iterations: int = 2,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Synchronous (Jacobi-style) label propagation, fully vectorized.
+
+    Each round, every vertex simultaneously adopts the label with the
+    largest incident weight *as of the previous round*.  Unlike the
+    asynchronous scan of :func:`propagate_labels` this needs no per-vertex
+    Python loop: one ``lexsort`` groups the arcs by ``(head, tail-label)``
+    and a segmented argmax picks each vertex's winner — O(m log m) in numpy
+    (the hpc-parallel guides' vectorization rule applied to LP).
+
+    Fully synchronous updates oscillate on symmetric structures (two
+    vertices adopting each other's labels forever), so each round applies
+    the computed updates to two complementary *random halves* of the
+    vertices in turn — the standard semi-synchronous symmetry breaker —
+    and ties additionally break toward the currently held label.  Cluster
+    quality is statistically indistinguishable from the asynchronous scan
+    for VieCut's purposes (tests assert the dumbbell and suite behaviours),
+    at roughly a tenth of the interpreter cost.
+    """
+    if iterations < 0:
+        raise ValueError(f"iterations must be non-negative, got {iterations}")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    n = graph.n
+    labels = np.arange(n, dtype=np.int64)
+    if n == 0 or graph.num_arcs == 0 or iterations == 0:
+        return labels
+    src = graph.arc_sources()
+    dst = graph.adjncy
+    wgt = graph.adjwgt
+
+    def compute_winners(current: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        # group arcs by (src, label[dst]) and sum weights per group
+        keys = src * np.int64(n) + current[dst]
+        order = np.argsort(keys, kind="stable")
+        k_sorted = keys[order]
+        w_sorted = wgt[order]
+        boundary = np.empty(len(k_sorted), dtype=bool)
+        boundary[0] = True
+        np.not_equal(k_sorted[1:], k_sorted[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        ends = np.concatenate((starts[1:], [len(k_sorted)]))
+        csum = np.concatenate(([0], np.cumsum(w_sorted, dtype=np.int64)))
+        gains = csum[ends] - csum[starts]
+        group_src = k_sorted[starts] // n
+        group_label = k_sorted[starts] % n
+        # bonus epsilon for keeping the current label: stability tie-break.
+        # Scale gains by 2 and add 1 to the own-label group so strict
+        # integer comparison implements "switch only on strictly better".
+        scaled = gains * 2 + (group_label == current[group_src])
+        # segmented argmax per src: sort groups by (src, scaled) and take
+        # the last entry of each src segment
+        sort2 = np.lexsort((scaled, group_src))
+        gs = group_src[sort2]
+        seg_end = np.empty(len(gs), dtype=bool)
+        seg_end[-1] = True
+        np.not_equal(gs[1:], gs[:-1], out=seg_end[:-1])
+        winners = sort2[seg_end]
+        return group_src[winners], group_label[winners]
+
+    for _ in range(iterations):
+        changed = False
+        half = rng.random(n) < 0.5
+        for active in (half, ~half):  # two complementary half-updates
+            upd_src, upd_label = compute_winners(labels)
+            take = active[upd_src]
+            new_labels = labels.copy()
+            new_labels[upd_src[take]] = upd_label[take]
+            if not np.array_equal(new_labels, labels):
+                changed = True
+            labels = new_labels
+        if not changed:
+            break
+    return labels
+
+
+def propagate_labels_parallel(
+    graph: Graph,
+    *,
+    iterations: int = 2,
+    workers: int = 4,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Shared-memory parallel label propagation (the VieCut configuration).
+
+    The permutation of each round is split into per-worker chunks processed
+    by real threads over one shared label array.  Reads of neighbours'
+    labels race with writes by other workers — the classic benign race of
+    parallel label propagation (Raghavan et al. [29]): a stale label only
+    means a vertex acts on slightly older information, which the next round
+    repairs; clustering quality is statistically unchanged.  Matches the
+    paper's description of VieCut as "a shared-memory parallel
+    implementation of the label propagation algorithm".
+
+    Under CPython the GIL serializes the chunk loops (wall-clock parity,
+    not speedup — DESIGN.md §2); the *structure* (shared array, chunked
+    permutation, racy reads) is the paper's.
+    """
+    import threading
+
+    if iterations < 0:
+        raise ValueError(f"iterations must be non-negative, got {iterations}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+    n = graph.n
+    labels = list(range(n))
+    xadj = graph.xadj.tolist()
+    adjncy = graph.adjncy
+    adjwgt = graph.adjwgt
+
+    def work(chunk: list[int]) -> None:
+        for v in chunk:
+            lo, hi = xadj[v], xadj[v + 1]
+            if lo == hi:
+                continue
+            gain: dict[int, int] = {}
+            for u, w in zip(adjncy[lo:hi].tolist(), adjwgt[lo:hi].tolist()):
+                lab = labels[u]
+                gain[lab] = gain.get(lab, 0) + w
+            own = labels[v]
+            best_label, best_gain = own, gain.get(own, 0)
+            for lab, g in gain.items():
+                if g > best_gain:
+                    best_label, best_gain = lab, g
+            if best_label != own:
+                labels[v] = best_label
+
+    for _ in range(iterations):
+        order = rng.permutation(n).tolist()
+        p = min(workers, max(1, n))
+        chunk_size = (n + p - 1) // p
+        chunks = [order[i : i + chunk_size] for i in range(0, n, chunk_size)]
+        threads = [threading.Thread(target=work, args=(c,)) for c in chunks]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    return np.array(labels, dtype=np.int64)
+
+
+def cluster_labels(
+    graph: Graph,
+    *,
+    iterations: int = 2,
+    rng: np.random.Generator | int | None = None,
+    workers: int = 1,
+    method: str = "async",
+) -> np.ndarray:
+    """Dense, connectivity-respecting cluster labels in ``[0, nc)``.
+
+    Two vertices share a cluster iff they are joined by a path of edges
+    whose endpoints carry the same propagated label — exactly the blocks
+    VieCut contracts.
+
+    ``method`` selects the propagation engine: ``"async"`` (the reference
+    sequential scan), ``"sync"`` (vectorized synchronous rounds — the fast
+    path VieCut uses by default), or ``"parallel"`` (threaded asynchronous;
+    also selected by ``workers > 1``).
+    """
+    if method not in ("async", "sync", "parallel"):
+        raise ValueError(f"unknown method {method!r}")
+    if workers > 1 or method == "parallel":
+        raw = propagate_labels_parallel(
+            graph, iterations=iterations, workers=max(workers, 2), rng=rng
+        )
+    elif method == "sync":
+        raw = propagate_labels_sync(graph, iterations=iterations, rng=rng)
+    else:
+        raw = propagate_labels(graph, iterations=iterations, rng=rng)
+    return _split_into_connected_clusters(graph, raw)
+
+
+def _split_into_connected_clusters(graph: Graph, raw: np.ndarray) -> np.ndarray:
+    """Dense labels of the components of the same-raw-label subgraph."""
+    from ..graph.components import components_from_arcs
+
+    src = graph.arc_sources()
+    dst = graph.adjncy
+    same = raw[src] == raw[dst]
+    _, dense = components_from_arcs(graph.n, src[same], dst[same])
+    return dense

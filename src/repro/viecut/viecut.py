@@ -1,0 +1,139 @@
+"""VieCut: the inexact multilevel minimum-cut algorithm (paper §2.4).
+
+Repeatedly: cluster with label propagation, contract the clusters, run the
+Padberg–Rinaldi local tests, contract again — until the graph is small —
+then solve the remnant exactly with NOI.  Every intermediate contracted
+graph exposes trivial cuts (minimum weighted degree) that tighten the
+bound, and the final exact solve contributes its cut mapped back through
+all contractions.
+
+VieCut gives **no approximation guarantee** — a cluster may straddle the
+minimum cut — but the returned value is always the capacity of a real cut
+of the input graph (so ``λ ≤ result``), and in practice it is usually λ
+itself.  The paper uses it exactly this way: as the seed bound ``λ̂`` that
+lets NOI/ParCut contract aggressively (§3.1.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.components import connected_components
+from ..graph.contract import compose_labels, contract_by_labels, contract_by_union_find
+from ..graph.csr import Graph
+from ..core.result import MinCutResult
+from .label_propagation import cluster_labels
+from .padberg_rinaldi import padberg_rinaldi_marks
+
+
+def viecut(
+    graph: Graph,
+    *,
+    lp_iterations: int = 2,
+    small_threshold: int = 64,
+    max_rounds: int = 32,
+    rng: np.random.Generator | int | None = None,
+    workers: int = 1,
+    lp_method: str = "sync",
+    pr34_max_arcs: int = 1 << 16,
+) -> MinCutResult:
+    """Fast inexact minimum cut (upper bound with a certified side).
+
+    Parameters
+    ----------
+    graph:
+        Weighted undirected graph with ``n >= 2``.
+    lp_iterations:
+        Label-propagation rounds per level (the paper uses a small constant).
+    small_threshold:
+        Once at most this many supervertices remain, finish exactly with NOI.
+    max_rounds:
+        Safety valve on multilevel rounds (label propagation is randomized
+        and may stall; a stalled round falls through to the exact solve).
+    rng:
+        Seed or generator.
+    workers:
+        ``> 1`` runs the label-propagation rounds with shared-memory
+        threads (the paper's parallel VieCut; see
+        :func:`~repro.viecut.label_propagation.propagate_labels_parallel`).
+    lp_method:
+        Label-propagation engine when ``workers == 1``: ``"sync"``
+        (vectorized, the fast default) or ``"async"`` (reference scan).
+    pr34_max_arcs:
+        The triangle/star PR tests (common-neighbour intersections, a
+        Python loop) run only once the contracted graph has at most this
+        many arcs; the vectorized PR1/PR2 always run.  Keeps the VieCut
+        constant linear-ish on large inputs, as the paper's linear-work PR
+        pass does.
+
+    Returns
+    -------
+    MinCutResult
+        ``result.value`` is the capacity of the cut ``result.side`` — an
+        upper bound on λ(G), usually equal to it.
+    """
+    n = graph.n
+    if n < 2:
+        raise ValueError(f"minimum cut requires at least 2 vertices, got {n}")
+    if isinstance(rng, (int, np.integer)) or rng is None:
+        rng = np.random.default_rng(rng)
+
+    stats: dict = {"levels": 0, "final_exact_n": 0}
+
+    ncomp, comp_labels = connected_components(graph)
+    if ncomp > 1:
+        return MinCutResult(0, comp_labels == 0, n, "viecut", stats)
+
+    v0, deg0 = graph.min_weighted_degree()
+    best_value = deg0
+    best_side = np.zeros(n, dtype=bool)
+    best_side[v0] = True
+
+    labels = np.arange(n, dtype=np.int64)
+    g = graph
+    for _ in range(max_rounds):
+        if g.n <= small_threshold:
+            break
+        # level: label propagation clustering + contraction
+        clusters = cluster_labels(
+            g, iterations=lp_iterations, rng=rng, workers=workers, method=lp_method
+        )
+        if int(clusters.max()) + 1 == g.n:
+            break  # no cluster merged anything; LP has stalled
+        g, lbl = contract_by_labels(g, clusters)
+        labels = compose_labels(labels, lbl)
+        stats["levels"] += 1
+        if g.n < 2:
+            break
+        v, d = g.min_weighted_degree()
+        if d < best_value:
+            best_value = d
+            best_side = labels == v
+        # Padberg–Rinaldi pass on the contracted graph (PR3/4 only when the
+        # graph is small enough for their intersection loops, see docstring)
+        if g.num_arcs <= pr34_max_arcs:
+            uf = padberg_rinaldi_marks(g, best_value)
+        else:
+            from .padberg_rinaldi import pr12_marks
+
+            uf = pr12_marks(g, best_value)
+        if uf.count < g.n:
+            g, lbl = contract_by_union_find(g, uf)
+            labels = compose_labels(labels, lbl)
+            if g.n < 2:
+                break
+            v, d = g.min_weighted_degree()
+            if d < best_value:
+                best_value = d
+                best_side = labels == v
+
+    stats["final_exact_n"] = g.n
+    if g.n >= 2:
+        from ..core.noi import noi_mincut  # local import: noi ⇄ viecut seeding
+
+        exact = noi_mincut(g, pq_kind="heap", bounded=True, rng=rng)
+        if exact.value < best_value:
+            best_value = exact.value
+            best_side = exact.side[labels]
+
+    return MinCutResult(best_value, best_side, n, "viecut", stats)

@@ -1,0 +1,120 @@
+"""White-box tests for baseline internals: Hao–Orlin dormant machinery,
+push-relabel gap heuristic, Stoer–Wagner phase structure."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import hao_orlin, max_flow, stoer_wagner
+from repro.generators import connected_gnm
+from repro.graph import from_edges
+
+from .conftest import oracle_mincut
+
+
+class TestHaoOrlinInternals:
+    def test_path_needs_no_dormant_machinery(self):
+        # a path drains each phase with a single push: exact BFS heights,
+        # zero relabels, zero dormant events
+        n = 30
+        g = from_edges(n, range(n - 1), range(1, n))
+        res = hao_orlin(g)
+        assert res.value == 1
+        assert res.stats["phases"] == n - 1
+        assert res.stats["relabels"] == 0
+        assert res.stats["dormant_events"] == 0
+
+    def test_dormant_events_on_star_and_random(self):
+        # a star strands excess at leaves every phase: dormant sets engage
+        g = from_edges(8, [0] * 7, range(1, 8), [2] * 7)
+        res = hao_orlin(g)
+        assert res.value == 2
+        assert res.stats["dormant_events"] > 0
+        rng = np.random.default_rng(0)
+        g2 = connected_gnm(25, 40, rng=rng, weights=(1, 6))
+        assert hao_orlin(g2).stats["dormant_events"] > 0
+
+    def test_push_and_relabel_counters(self, clique6):
+        res = hao_orlin(clique6)
+        assert res.stats["pushes"] > 0
+        assert res.stats["relabels"] >= 0
+
+    def test_compute_side_false_skips_recovery_flow(self, dumbbell):
+        res = hao_orlin(dumbbell, compute_side=False)
+        assert res.side is None
+        assert res.value == 1
+
+    def test_star_graph_phases(self, star):
+        # star: every phase ends at a leaf; value = min leaf weight
+        res = hao_orlin(star)
+        assert res.value == 2
+        assert res.verify(star)
+
+    def test_heavy_asymmetric_weights(self):
+        # weights force excess to travel: wide path with one thin rung
+        g = from_edges(
+            6,
+            [0, 1, 2, 0, 4, 3],
+            [1, 2, 3, 4, 5, 5],
+            [100, 100, 100, 1, 1, 100],
+        )
+        assert hao_orlin(g).value == oracle_mincut(g)
+
+
+class TestPushRelabelInternals:
+    def test_gap_heuristic_graph(self):
+        """A lollipop forces a height gap once the stick saturates."""
+        # clique 0-3 + path 3-4-5; flow from 0 to 5 limited by the path
+        us = [0, 0, 0, 1, 1, 2, 3, 4]
+        vs = [1, 2, 3, 2, 3, 3, 4, 5]
+        ws = [5, 5, 5, 5, 5, 5, 2, 2]
+        g = from_edges(6, us, vs, ws)
+        res = max_flow(g, 0, 5)
+        assert res.value == 2
+        assert g.cut_value(res.source_side) == 2
+
+    def test_max_flow_saturates_parallel_paths(self):
+        # two disjoint s-t paths of bottleneck 3 and 4: flow = 7
+        us = [0, 1, 0, 3]
+        vs = [1, 2, 3, 2]
+        ws = [3, 3, 4, 4]
+        g = from_edges(4, us, vs, ws)
+        assert max_flow(g, 0, 2).value == 7
+
+    def test_flow_conservation_interior(self):
+        rng = np.random.default_rng(0)
+        g = connected_gnm(15, 40, rng=rng, weights=(1, 9))
+        res = max_flow(g, 0, 14)
+        src = g.arc_sources()
+        # net outflow per vertex: 0 at interior, +value at source, -value at sink
+        net = np.zeros(g.n, dtype=np.int64)
+        np.add.at(net, src, res.flow)
+        assert net[0] == res.value
+        assert net[14] == -res.value
+        interior = np.delete(net, [0, 14])
+        assert (interior == 0).all()
+
+    def test_capacity_respected(self):
+        rng = np.random.default_rng(1)
+        g = connected_gnm(12, 30, rng=rng, weights=(1, 7))
+        res = max_flow(g, 0, 11)
+        assert (res.flow <= g.adjwgt).all()
+
+
+class TestStoerWagnerInternals:
+    def test_phase_cuts_monotone_record(self, dumbbell):
+        res = stoer_wagner(dumbbell)
+        assert res.stats["phases"] == 7
+        assert res.value == 1
+
+    def test_two_vertices_single_phase(self, two_vertices):
+        res = stoer_wagner(two_vertices)
+        assert res.stats["phases"] == 1
+        assert res.value == 7
+
+    def test_merged_supervertex_weights(self):
+        """After merging, parallel edges must accumulate: a triangle with a
+        heavy pair merges them first and still reports the right cut."""
+        g = from_edges(3, [0, 1, 2], [1, 2, 0], [10, 1, 1])
+        res = stoer_wagner(g)
+        assert res.value == 2
+        assert res.verify(g)

@@ -1,0 +1,202 @@
+"""Tests for the baseline solvers: Stoer–Wagner, Hao–Orlin, push-relabel,
+Karger–Stein, and Matula's (2+ε)-approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import hao_orlin, karger_stein, matula_approx, max_flow, stoer_wagner
+from repro.baselines.push_relabel import reverse_arcs
+from repro.generators import connected_gnm
+from repro.graph import from_edges
+
+from .conftest import CANONICAL_CUTS, graph_to_nx, oracle_mincut
+
+
+def canonical(request, name):
+    return request.getfixturevalue(name), CANONICAL_CUTS[name]
+
+
+CANONICAL_NAMES = sorted(CANONICAL_CUTS)
+
+
+class TestStoerWagner:
+    @pytest.mark.parametrize("name", CANONICAL_NAMES)
+    def test_canonical(self, request, name):
+        g, lam = canonical(request, name)
+        res = stoer_wagner(g)
+        assert res.value == lam
+        assert res.verify(g)
+
+    def test_disconnected(self, two_triangles_disconnected):
+        assert stoer_wagner(two_triangles_disconnected).value == 0
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            stoer_wagner(from_edges(1, [], []))
+
+    def test_phase_count(self, clique6):
+        res = stoer_wagner(clique6)
+        assert res.stats["phases"] == 5  # n - 1 phases
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_property_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 24))
+        m = min(int(rng.integers(n - 1, 3 * n)), n * (n - 1) // 2)
+        g = connected_gnm(n, m, rng=rng, weights=(1, 9))
+        res = stoer_wagner(g)
+        assert res.value == oracle_mincut(g)
+        assert res.verify(g)
+
+
+class TestPushRelabel:
+    def test_reverse_arcs_involution(self):
+        rng = np.random.default_rng(0)
+        g = connected_gnm(20, 50, rng=rng)
+        rev = reverse_arcs(g)
+        assert np.array_equal(rev[rev], np.arange(g.num_arcs))
+        src = g.arc_sources()
+        assert np.array_equal(src[rev], g.adjncy)
+
+    def test_source_equals_sink_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            max_flow(triangle, 0, 0)
+
+    def test_out_of_range(self, triangle):
+        with pytest.raises(ValueError):
+            max_flow(triangle, 0, 9)
+
+    def test_path_flow(self, path4):
+        res = max_flow(path4, 0, 3)
+        assert res.value == 1
+        assert res.source_side[0] and not res.source_side[3]
+
+    def test_bottleneck(self):
+        # 0 =3= 1 =1= 2 =3= 3 : flow 0->3 limited by middle edge
+        g = from_edges(4, [0, 1, 2], [1, 2, 3], [3, 1, 3])
+        assert max_flow(g, 0, 3).value == 1
+
+    def test_disconnected_flow_zero(self, two_triangles_disconnected):
+        res = max_flow(two_triangles_disconnected, 0, 5)
+        assert res.value == 0
+
+    def test_flow_antisymmetric(self, clique6):
+        res = max_flow(clique6, 0, 5)
+        rev = reverse_arcs(clique6)
+        assert np.array_equal(res.flow, -res.flow[rev])
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_property_matches_networkx(self, seed):
+        import networkx as nx
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 22))
+        m = min(int(rng.integers(n - 1, 3 * n)), n * (n - 1) // 2)
+        g = connected_gnm(n, m, rng=rng, weights=(1, 9))
+        s, t = 0, n - 1
+        expected = nx.maximum_flow_value(graph_to_nx(g), s, t)
+        res = max_flow(g, s, t)
+        assert res.value == expected
+        assert g.cut_value(res.source_side) == res.value
+
+
+class TestHaoOrlin:
+    @pytest.mark.parametrize("name", CANONICAL_NAMES)
+    def test_canonical(self, request, name):
+        g, lam = canonical(request, name)
+        res = hao_orlin(g)
+        assert res.value == lam
+        assert res.verify(g)
+
+    def test_disconnected(self, two_triangles_disconnected):
+        assert hao_orlin(two_triangles_disconnected).value == 0
+
+    def test_source_choice_irrelevant(self, dumbbell):
+        for s in range(8):
+            assert hao_orlin(dumbbell, source=s).value == 1
+
+    def test_phase_count(self, clique6):
+        res = hao_orlin(clique6)
+        assert res.stats["phases"] == 5
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 100_000), weighted=st.booleans())
+    def test_property_oracle(self, seed, weighted):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 24))
+        m = min(int(rng.integers(n - 1, 3 * n)), n * (n - 1) // 2)
+        g = connected_gnm(n, m, rng=rng, weights=(1, 9) if weighted else None)
+        res = hao_orlin(g, source=int(rng.integers(n)))
+        assert res.value == oracle_mincut(g)
+        assert res.verify(g)
+
+
+class TestKargerStein:
+    @pytest.mark.parametrize("name", CANONICAL_NAMES)
+    def test_canonical(self, request, name):
+        g, lam = canonical(request, name)
+        res = karger_stein(g, rng=0)
+        assert res.value == lam  # tiny graphs: recursion bottoms out exactly
+        assert res.verify(g)
+
+    def test_disconnected(self, two_triangles_disconnected):
+        assert karger_stein(two_triangles_disconnected, rng=0).value == 0
+
+    def test_never_below_mincut(self):
+        """Monte Carlo: may exceed λ, can never go below (any output is a cut)."""
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            g = connected_gnm(16, 30, rng=rng, weights=(1, 6))
+            res = karger_stein(g, trials=1, rng=rng)
+            assert res.value >= oracle_mincut(g)
+            assert res.verify(g)
+
+    def test_default_trials_whp_exact(self):
+        rng = np.random.default_rng(2)
+        hits = total = 0
+        for _ in range(15):
+            g = connected_gnm(18, 40, rng=rng, weights=(1, 5))
+            total += 1
+            hits += karger_stein(g, rng=rng).value == oracle_mincut(g)
+        assert hits >= total - 1, f"exact only {hits}/{total} with default trials"
+
+    def test_invalid_trials(self, triangle):
+        with pytest.raises(ValueError):
+            karger_stein(triangle, trials=0)
+
+
+class TestMatula:
+    @pytest.mark.parametrize("eps", [0.1, 0.5, 1.0])
+    def test_approximation_guarantee(self, eps):
+        rng = np.random.default_rng(5)
+        for _ in range(15):
+            n = int(rng.integers(4, 28))
+            m = min(int(rng.integers(n, 4 * n)), n * (n - 1) // 2)
+            g = connected_gnm(n, m, rng=rng, weights=(1, 7))
+            lam = oracle_mincut(g)
+            res = matula_approx(g, eps=eps, rng=rng)
+            assert res.verify(g)
+            assert lam <= res.value <= (2 + eps) * lam
+
+    def test_canonical_dumbbell(self, dumbbell):
+        res = matula_approx(dumbbell, rng=0)
+        assert 1 <= res.value <= 3  # (2+0.5)*1 rounded up by integrality
+
+    def test_invalid_eps(self, triangle):
+        with pytest.raises(ValueError):
+            matula_approx(triangle, eps=0)
+
+    def test_disconnected(self, two_triangles_disconnected):
+        assert matula_approx(two_triangles_disconnected, rng=0).value == 0
+
+    def test_linear_work_shape(self):
+        """Matula must scan far fewer edges than exact NOI on the same input
+        when λ̂ has to fall a long way (many NOI rounds)."""
+        rng = np.random.default_rng(8)
+        g = connected_gnm(300, 2000, rng=rng)
+        res = matula_approx(g, eps=0.5, rng=1)
+        # edges scanned is O(m · rounds) with rounds small and bounded
+        assert res.stats["rounds"] <= 12

@@ -1,0 +1,52 @@
+"""Tests for the brute-force reference solver — and through it, an
+oracle-independent cross-check of every exact solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import minimum_cut
+from repro.baselines import brute_force_mincut
+from repro.core import EXACT_ALGORITHMS
+from repro.generators import connected_gnm, gnm
+from repro.graph import from_edges
+
+
+class TestBruteForce:
+    def test_canonical(self, dumbbell, weighted_cycle, clique6):
+        assert brute_force_mincut(dumbbell).value == 1
+        assert brute_force_mincut(weighted_cycle).value == 2
+        assert brute_force_mincut(clique6).value == 5
+
+    def test_side_certified(self, dumbbell):
+        res = brute_force_mincut(dumbbell)
+        assert res.verify(dumbbell)
+
+    def test_disconnected(self, two_triangles_disconnected):
+        res = brute_force_mincut(two_triangles_disconnected)
+        assert res.value == 0
+        assert res.verify(two_triangles_disconnected)
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            brute_force_mincut(gnm(23, 40, rng=0))
+        with pytest.raises(ValueError):
+            brute_force_mincut(from_edges(1, [], []))
+
+    def test_cut_count_stat(self, triangle):
+        res = brute_force_mincut(triangle)
+        assert res.stats["cuts_enumerated"] == 3
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_exact_solvers_match_brute_force(seed):
+    """Oracle-independence: all exact solvers equal exhaustive enumeration."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 12))
+    m = min(int(rng.integers(n - 1, 3 * n)), n * (n - 1) // 2)
+    g = connected_gnm(n, m, rng=rng, weights=(1, 7))
+    expected = brute_force_mincut(g).value
+    for algo in EXACT_ALGORITHMS:
+        got = minimum_cut(g, algorithm=algo, rng=seed).value
+        assert got == expected, f"{algo}: {got} != {expected}"

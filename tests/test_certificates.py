@@ -1,0 +1,137 @@
+"""Tests for Nagamochi–Ibaraki sparse certificates (repro.core.certificates)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.certificates import certificate_summary, sparse_certificate
+from repro.core.noi import noi_mincut
+from repro.generators import connected_gnm, gnm
+from repro.graph import check_graph, from_edges
+
+from .conftest import oracle_mincut
+
+
+class TestBasics:
+    def test_invalid_k(self, triangle):
+        with pytest.raises(ValueError):
+            sparse_certificate(triangle, 0)
+
+    def test_invalid_start(self, triangle):
+        with pytest.raises(ValueError):
+            sparse_certificate(triangle, 2, start=7)
+
+    def test_empty_graph(self):
+        g = from_edges(0, [], [])
+        assert sparse_certificate(g, 3).n == 0
+
+    def test_certificate_is_subgraph(self, clique6):
+        cert = sparse_certificate(clique6, 2)
+        check_graph(cert)
+        assert cert.n == clique6.n
+        # subgraph: every certificate edge exists in G with >= weight
+        for u, v, w in zip(*cert.edge_arrays()):
+            assert clique6.edge_weight(int(u), int(v)) >= w
+
+    def test_weight_bound(self):
+        rng = np.random.default_rng(0)
+        g = connected_gnm(40, 300, rng=rng, weights=(1, 5))
+        for k in (1, 2, 3, 5):
+            cert = sparse_certificate(g, k)
+            assert cert.total_weight() <= k * (g.n - 1)
+            assert cert.m <= k * (g.n - 1)
+
+    def test_k1_is_spanning_forest(self):
+        rng = np.random.default_rng(1)
+        g = connected_gnm(30, 100, rng=rng)
+        cert = sparse_certificate(g, 1)
+        from repro.graph import is_connected
+
+        assert is_connected(cert)
+        assert cert.m == g.n - 1
+
+    def test_large_k_keeps_everything(self, weighted_cycle):
+        cert = sparse_certificate(weighted_cycle, 100)
+        assert cert == weighted_cycle
+
+    def test_summary(self, clique6):
+        cert = sparse_certificate(clique6, 2)
+        s = certificate_summary(clique6, cert, 2)
+        assert s["certificate_edges"] <= s["original_edges"]
+        assert s["bound"] == 2 * 5
+        assert 0 < s["edge_ratio"] <= 1.0
+
+    def test_disconnected_input(self, two_triangles_disconnected):
+        cert = sparse_certificate(two_triangles_disconnected, 2)
+        check_graph(cert)
+        assert cert.n == 6
+
+
+class TestCutPreservation:
+    """The defining property: min(k, λ_cert(cut)) == min(k, λ_G(cut))
+    for every cut — verified exhaustively on small graphs."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 100_000), k=st.integers(1, 8))
+    def test_property_all_cuts_preserved(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 11))
+        m = min(int(rng.integers(0, 3 * n)), n * (n - 1) // 2)
+        g = gnm(n, m, rng=rng, weights=(1, 5))
+        cert = sparse_certificate(g, k, start=int(rng.integers(n)))
+        for subset in range(1, 1 << (n - 1)):
+            mask = np.array([(subset >> i) & 1 for i in range(n)], dtype=bool)
+            orig = g.cut_value(mask)
+            kept = cert.cut_value(mask)
+            assert kept <= orig
+            assert min(kept, k) == min(orig, k), (
+                f"cut {subset}: orig={orig} cert={kept} k={k}"
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_property_mincut_preserved_at_k_lambda_plus_1(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 16))
+        m = min(int(rng.integers(n - 1, 4 * n)), n * (n - 1) // 2)
+        g = connected_gnm(n, m, rng=rng, weights=(1, 6))
+        lam = oracle_mincut(g)
+        _, delta = g.min_weighted_degree()
+        cert = sparse_certificate(g, delta + 1)
+        assert oracle_mincut(cert) == lam
+
+
+class TestSparsifiedNOI:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_property_sparsified_noi_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 20))
+        m = min(int(rng.integers(n - 1, 4 * n)), n * (n - 1) // 2)
+        g = connected_gnm(n, m, rng=rng, weights=(1, 7))
+        res = noi_mincut(g, sparsify=True, rng=rng, compute_side=False)
+        assert res.value == oracle_mincut(g)
+
+    def test_sparsify_records_stats(self):
+        rng = np.random.default_rng(3)
+        g = connected_gnm(60, 600, rng=rng)
+        res = noi_mincut(g, sparsify=True, rng=0, compute_side=False)
+        assert "sparsified_m" in res.stats
+        assert res.stats["sparsified_m"] <= g.m
+
+    def test_sparsify_shrinks_when_bound_small(self):
+        # dense graph plus a pendant vertex: λ̂ = 1, so the k=2 certificate
+        # keeps at most 2(n-1) of the 4001 edges
+        rng = np.random.default_rng(4)
+        dense = connected_gnm(200, 4000, rng=rng)
+        us, vs, ws = dense.edge_arrays()
+        g = from_edges(
+            201,
+            np.concatenate((us, [0])),
+            np.concatenate((vs, [200])),
+            np.concatenate((ws, [1])),
+        )
+        res = noi_mincut(g, sparsify=True, rng=0)
+        assert res.value == 1
+        assert res.stats["sparsified_m"] <= 2 * 200
+        assert res.verify(g)

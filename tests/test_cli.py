@@ -1,0 +1,55 @@
+"""Tests for the repro-mincut command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import write_edge_list, write_metis
+
+
+@pytest.fixture
+def metis_file(tmp_path, dumbbell):
+    path = tmp_path / "g.graph"
+    write_metis(dumbbell, path)
+    return str(path)
+
+
+class TestCli:
+    def test_basic_run(self, metis_file, capsys):
+        assert main([metis_file]) == 0
+        out = capsys.readouterr().out
+        assert "mincut    1" in out
+        assert "n=8 m=13" in out
+
+    def test_edgelist_format(self, tmp_path, weighted_cycle, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(weighted_cycle, path)
+        assert main(["--format", "edgelist", str(path)]) == 0
+        assert "mincut    2" in capsys.readouterr().out
+
+    def test_algorithm_selection(self, metis_file, capsys):
+        assert main(["--algorithm", "stoer-wagner", metis_file]) == 0
+        assert "stoer-wagner" in capsys.readouterr().out
+
+    def test_parcut_options(self, metis_file, capsys):
+        assert main(["--algorithm", "parcut", "--workers", "2", "--pq", "bqueue", metis_file]) == 0
+        assert "parcut-bqueue" in capsys.readouterr().out
+
+    def test_print_side(self, metis_file, capsys):
+        assert main(["--print-side", metis_file]) == 0
+        out = capsys.readouterr().out
+        assert "side      " in out
+        side = sorted(int(x) for x in out.split("side")[1].split())
+        assert side in ([0, 1, 2, 3], [4, 5, 6, 7])
+
+    def test_stats_flag(self, metis_file, capsys):
+        assert main(["--stats", metis_file]) == 0
+        assert "stat      " in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent.graph"]) == 2
+        assert "error reading" in capsys.readouterr().err
+
+    def test_bad_option_combo(self, metis_file, capsys):
+        # workers is not a valid kwarg for stoer-wagner
+        assert main(["--algorithm", "stoer-wagner", "--workers", "2", metis_file]) == 2
+        assert "error" in capsys.readouterr().err

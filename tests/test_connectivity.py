@@ -1,0 +1,165 @@
+"""Tests for connectivity applications (k-edge-connected components etc.)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.connectivity import (
+    edge_connectivity,
+    enumerate_minimum_cuts,
+    is_k_edge_connected,
+    k_edge_connected_subgraphs,
+)
+from repro.generators import gnm
+from repro.graph import from_edges
+
+from .conftest import graph_to_nx
+
+
+class TestEdgeConnectivity:
+    def test_values(self, dumbbell, clique6, two_triangles_disconnected):
+        assert edge_connectivity(dumbbell) == 1
+        assert edge_connectivity(clique6) == 5
+        assert edge_connectivity(two_triangles_disconnected) == 0
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            edge_connectivity(from_edges(1, [], []))
+
+    def test_is_k_edge_connected(self, clique6):
+        assert is_k_edge_connected(clique6, 5)
+        assert not is_k_edge_connected(clique6, 6)
+        assert is_k_edge_connected(clique6, 0)
+        with pytest.raises(ValueError):
+            is_k_edge_connected(clique6, -1)
+
+    def test_single_vertex_trivially_connected(self):
+        assert is_k_edge_connected(from_edges(1, [], []), 3)
+
+
+class TestKEdgeComponents:
+    def test_dumbbell_splits_at_k2(self, dumbbell):
+        # bridge has capacity 1: 2-edge-connected groups are the two K4s
+        groups = k_edge_connected_subgraphs(dumbbell, 2)
+        assert groups == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_dumbbell_whole_at_k1(self, dumbbell):
+        groups = k_edge_connected_subgraphs(dumbbell, 1)
+        assert groups == [sorted(range(8))]
+
+    def test_clique_never_splits(self, clique6):
+        for k in range(1, 6):
+            assert k_edge_connected_subgraphs(clique6, k) == [list(range(6))]
+
+    def test_clique_shatters_above_connectivity(self, clique6):
+        groups = k_edge_connected_subgraphs(clique6, 6)
+        assert groups == [[v] for v in range(6)]
+
+    def test_path_shatters_at_k2(self, path4):
+        assert k_edge_connected_subgraphs(path4, 2) == [[0], [1], [2], [3]]
+
+    def test_disconnected_graph(self, two_triangles_disconnected):
+        groups = k_edge_connected_subgraphs(two_triangles_disconnected, 1)
+        assert groups == [[0, 1, 2], [3, 4, 5]]
+
+    def test_invalid_k(self, dumbbell):
+        with pytest.raises(ValueError):
+            k_edge_connected_subgraphs(dumbbell, 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 100_000), k=st.integers(1, 4))
+    def test_property_matches_networkx(self, seed, k):
+        """Oracle: networkx k_edge_subgraphs on unweighted graphs."""
+        import networkx as nx
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 20))
+        m = min(int(rng.integers(0, 3 * n)), n * (n - 1) // 2)
+        g = gnm(n, m, rng=rng)
+        got = k_edge_connected_subgraphs(g, k)
+        expected = sorted(
+            (sorted(c) for c in nx.k_edge_subgraphs(graph_to_nx(g), k)),
+            key=lambda group: group[0],
+        )
+        assert got == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_property_groups_internally_connected(self, seed):
+        """Each group of size >= 2 must itself be k-edge-connected."""
+        from repro.graph import induced_subgraph
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 18))
+        m = min(int(rng.integers(n, 3 * n)), n * (n - 1) // 2)
+        g = gnm(n, m, rng=rng, weights=(1, 4))
+        k = int(rng.integers(2, 6))
+        for group in k_edge_connected_subgraphs(g, k):
+            if len(group) >= 2:
+                sub, _ = induced_subgraph(g, np.array(group))
+                assert edge_connectivity(sub) >= k
+
+
+class TestEnumerateMinimumCuts:
+    def test_weighted_cycle_two_cuts(self, weighted_cycle):
+        # C4 weights 3,1,3,1: the unique min cut pairs up the two w=1 edges
+        lam, sides = enumerate_minimum_cuts(weighted_cycle)
+        assert lam == 2
+        assert len(sides) == 1
+
+    def test_unit_cycle_many_cuts(self):
+        # C4 unit weights: λ=2, cut = any 2 of 4 edges "opposite" pairs:
+        # sides are {v}, {v,v+1} combos -> 6 subsets of size 1..2 actually:
+        g = from_edges(4, [0, 1, 2, 3], [1, 2, 3, 0])
+        lam, sides = enumerate_minimum_cuts(g)
+        assert lam == 2
+        # C_n has n(n-1)/2 minimum cuts: 4*3/2 = 6
+        assert len(sides) == 6
+
+    def test_dumbbell_unique(self, dumbbell):
+        lam, sides = enumerate_minimum_cuts(dumbbell)
+        assert lam == 1
+        assert len(sides) == 1
+        assert sorted(np.flatnonzero(sides[0]).tolist()) == [0, 1, 2, 3]
+
+    def test_sides_all_realize_lambda(self):
+        rng = np.random.default_rng(5)
+        g = gnm(10, 22, rng=rng, weights=(1, 4))
+        lam, sides = enumerate_minimum_cuts(g)
+        for side in sides:
+            assert g.cut_value(side) == lam
+            assert not side[g.n - 1]  # canonical orientation
+
+    def test_size_limits(self):
+        with pytest.raises(ValueError):
+            enumerate_minimum_cuts(from_edges(1, [], []))
+        with pytest.raises(ValueError):
+            enumerate_minimum_cuts(gnm(23, 30, rng=0))
+
+
+class TestSolverSidesAreTrueMinimumCuts:
+    """Stronger than value agreement: every exact solver's returned side
+    must be one of the exhaustively enumerated minimum-cut sides."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000))
+    def test_property_side_membership(self, seed):
+        from repro import minimum_cut
+        from repro.core import EXACT_ALGORITHMS
+        from repro.generators import connected_gnm
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 12))
+        m = min(int(rng.integers(n - 1, 3 * n)), n * (n - 1) // 2)
+        g = connected_gnm(n, m, rng=rng, weights=(1, 5))
+        lam, sides = enumerate_minimum_cuts(g)
+        canon = {tuple(s.tolist()) for s in sides}
+        for algo in EXACT_ALGORITHMS:
+            res = minimum_cut(g, algorithm=algo, rng=seed)
+            assert res.value == lam
+            side = res.side.copy()
+            if side[n - 1]:
+                side = ~side  # canonical orientation: vertex n-1 outside
+            assert tuple(side.tolist()) in canon, (
+                f"{algo} returned a side that is not a minimum cut"
+            )

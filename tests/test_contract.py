@@ -1,0 +1,134 @@
+"""Tests for graph contraction: sequential, by-union-find, and parallel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastructures import UnionFind
+from repro.generators import gnm
+from repro.graph import (
+    check_graph,
+    compose_labels,
+    contract_by_labels,
+    contract_by_union_find,
+    contract_edge,
+    from_edges,
+)
+from repro.graph.parallel_contract import parallel_contract_by_labels
+
+
+class TestContractByLabels:
+    def test_triangle_merge_two(self, triangle):
+        # merge vertices 0 and 1 -> two vertices, parallel edges summed
+        labels = np.array([0, 0, 1])
+        g, _ = contract_by_labels(triangle, labels)
+        assert g.n == 2
+        assert g.m == 1
+        # edge (0,2) w3 and (1,2) w2 merge into w5
+        assert g.edge_weight(0, 1) == 5
+        check_graph(g)
+
+    def test_identity_labels(self, dumbbell):
+        labels = np.arange(8)
+        g, _ = contract_by_labels(dumbbell, labels)
+        assert g == dumbbell
+
+    def test_all_into_one(self, clique6):
+        g, _ = contract_by_labels(clique6, np.zeros(6, dtype=np.int64))
+        assert g.n == 1
+        assert g.m == 0
+
+    def test_intra_block_edges_vanish(self, dumbbell):
+        labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        g, _ = contract_by_labels(dumbbell, labels)
+        assert g.n == 2
+        assert g.total_weight() == 1  # only the bridge survives
+
+    def test_weights_accumulate(self):
+        g0 = from_edges(4, [0, 1, 0, 1], [2, 2, 3, 3], [1, 2, 3, 4])
+        labels = np.array([0, 0, 1, 2])
+        g, _ = contract_by_labels(g0, labels)
+        assert g.edge_weight(0, 1) == 3  # 1+2
+        assert g.edge_weight(0, 2) == 7  # 3+4
+
+    def test_cut_preservation(self):
+        """Cuts that do not split any block keep their exact value."""
+        rng = np.random.default_rng(1)
+        g = gnm(12, 30, rng=rng, weights=(1, 5))
+        labels = np.array([0, 0, 1, 1, 1, 2, 2, 3, 3, 3, 3, 4])
+        gc, _ = contract_by_labels(g, labels)
+        for block_subset in range(1, 1 << 4):
+            side_orig = np.array([(block_subset >> labels[v]) & 1 for v in range(12)], dtype=bool)
+            side_new = np.array([(block_subset >> b) & 1 for b in range(5)], dtype=bool)
+            assert g.cut_value(side_orig) == gc.cut_value(side_new)
+
+    def test_wrong_label_length(self, triangle):
+        with pytest.raises(ValueError):
+            contract_by_labels(triangle, np.array([0, 1]))
+
+
+class TestContractHelpers:
+    def test_contract_edge(self, weighted_cycle):
+        g, labels = contract_edge(weighted_cycle, 0, 1)
+        assert g.n == 3
+        assert labels[0] == labels[1]
+        check_graph(g)
+
+    def test_contract_self_loop_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            contract_edge(triangle, 1, 1)
+
+    def test_contract_by_union_find(self, dumbbell):
+        uf = UnionFind(8)
+        for i in range(3):
+            uf.union(i, i + 1)
+            uf.union(i + 4, i + 5)
+        g, labels = contract_by_union_find(dumbbell, uf)
+        assert g.n == 2
+        assert g.total_weight() == 1
+
+    def test_union_find_size_mismatch(self, triangle):
+        with pytest.raises(ValueError):
+            contract_by_union_find(triangle, UnionFind(5))
+
+    def test_compose_labels(self):
+        outer = np.array([0, 0, 1, 2])
+        inner = np.array([1, 1, 0])
+        composed = compose_labels(outer, inner)
+        assert composed.tolist() == [1, 1, 1, 0]
+
+
+class TestParallelContract:
+    def test_matches_sequential_small(self, dumbbell):
+        labels = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        seq, _ = contract_by_labels(dumbbell, labels)
+        par, _ = parallel_contract_by_labels(dumbbell, labels, workers=3)
+        assert seq == par
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), workers=st.integers(1, 6))
+    def test_property_matches_sequential(self, seed, workers):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 50))
+        m = min(int(rng.integers(0, 4 * n)), n * (n - 1) // 2)
+        g = gnm(n, m, rng=rng, weights=(1, 9))
+        nc = int(rng.integers(1, n + 1))
+        raw = rng.integers(0, nc, size=n)
+        _, labels = np.unique(raw, return_inverse=True)
+        seq, _ = contract_by_labels(g, labels.astype(np.int64))
+        par, _ = parallel_contract_by_labels(g, labels.astype(np.int64), workers=workers)
+        assert seq == par
+
+    def test_large_graph_goes_parallel(self):
+        """Above the arc threshold the chunked path runs and still matches."""
+        rng = np.random.default_rng(3)
+        g = gnm(300, 20_000, rng=rng, weights=(1, 3))
+        assert g.num_arcs >= 1 << 15
+        labels = (np.arange(300) // 3).astype(np.int64)
+        seq, _ = contract_by_labels(g, labels)
+        par, _ = parallel_contract_by_labels(g, labels, workers=4)
+        assert seq == par
+
+    def test_invalid_workers(self, triangle):
+        with pytest.raises(ValueError):
+            parallel_contract_by_labels(triangle, np.zeros(3, dtype=np.int64), workers=0)

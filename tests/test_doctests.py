@@ -1,0 +1,28 @@
+"""Doctest runner for the modules whose docstrings carry runnable examples.
+
+Keeps the README-style snippets in docstrings honest: if an API example in
+a docstring drifts from the implementation, this test fails.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.graph.builder
+import repro.utils.timers
+
+MODULES = [repro.graph.builder, repro.utils.timers]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests collected from {module.__name__}"
+
+
+def test_package_docstring_example():
+    """The `import repro` docstring example, executed literally."""
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

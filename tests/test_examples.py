@@ -1,0 +1,38 @@
+"""Smoke tests: the fast example scripts must run to completion.
+
+Only the two quick examples run here (the others are exercised manually /
+by the experiment harness — they take tens of seconds by design).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", ["quickstart.py", "network_reliability.py"])
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "OK" in proc.stdout
+
+
+def test_examples_exist():
+    expected = {
+        "quickstart.py",
+        "network_reliability.py",
+        "kcore_pipeline.py",
+        "tsp_separation.py",
+        "algorithm_comparison.py",
+        "parallel_scaling.py",
+        "all_pairs_connectivity.py",
+    }
+    assert expected <= {p.name for p in EXAMPLES.glob("*.py")}

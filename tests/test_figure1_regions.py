@@ -1,0 +1,33 @@
+"""Tests for the Figure 1 region-growth report."""
+
+import numpy as np
+
+from repro.experiments.figure1 import run as figure1_run
+from repro.generators import connected_gnm
+
+
+class TestFigure1:
+    def test_rows_and_summary(self):
+        rng = np.random.default_rng(0)
+        g = connected_gnm(200, 600, rng=rng)
+        rows, summary = figure1_run(g, workers=4, seed=1)
+        assert len(rows) == 4
+        assert summary["vertices_covered"] == g.n
+        assert summary["n"] == g.n
+        assert summary["marked_edges"] >= 0
+        assert summary["modeled_speedup_one_pass"] >= 1.0
+
+    def test_work_shares_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        g = connected_gnm(150, 400, rng=rng)
+        rows, _ = figure1_run(g, workers=3, seed=2)
+        shares = [float(r[5].rstrip("%")) for r in rows]
+        assert abs(sum(shares) - 100.0) < 0.5
+
+    def test_single_worker_full_region(self):
+        rng = np.random.default_rng(2)
+        g = connected_gnm(80, 200, rng=rng)
+        rows, summary = figure1_run(g, workers=1, seed=0)
+        assert len(rows) == 1
+        assert rows[0][2] == g.n  # region = whole graph
+        assert summary["region_balance_max_over_mean"] == 1.0

@@ -1,0 +1,91 @@
+"""Composite-strategy fuzzing: diverse graph shapes through all exact solvers.
+
+The per-family tests draw from one generator each; this fuzzer composes a
+hypothesis strategy over *shapes* (uniform, hub-and-spoke, two-block,
+parallel-edge soup, near-tree) and checks the full solver agreement plus
+side certification on whatever comes out — the widest net in the suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import minimum_cut
+from repro.core import EXACT_ALGORITHMS
+from repro.graph import check_graph, from_edges, is_connected
+
+from .conftest import oracle_mincut
+
+
+@st.composite
+def graph_shapes(draw):
+    shape = draw(st.sampled_from(["uniform", "hub", "two_block", "soup", "near_tree"]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if shape == "uniform":
+        n = int(rng.integers(2, 16))
+        m = int(rng.integers(0, 2 * n))
+        us = rng.integers(0, n, size=m)
+        vs = rng.integers(0, n, size=m)
+        ws = rng.integers(1, 8, size=m)
+    elif shape == "hub":
+        n = int(rng.integers(3, 14))
+        us = np.zeros(n - 1, dtype=np.int64)
+        vs = np.arange(1, n)
+        ws = rng.integers(1, 10, size=n - 1)
+        extra = int(rng.integers(0, n))
+        us = np.concatenate((us, rng.integers(1, n, size=extra)))
+        vs = np.concatenate((vs, rng.integers(1, n, size=extra)))
+        ws = np.concatenate((ws, rng.integers(1, 10, size=extra)))
+    elif shape == "two_block":
+        half = int(rng.integers(2, 7))
+        n = 2 * half
+        edges = []
+        for base in (0, half):
+            for i in range(half):
+                for j in range(i + 1, half):
+                    if rng.random() < 0.8:
+                        edges.append((base + i, base + j, int(rng.integers(1, 6))))
+        bridges = int(rng.integers(1, 4))
+        for _ in range(bridges):
+            edges.append(
+                (int(rng.integers(0, half)), int(rng.integers(half, n)), int(rng.integers(1, 4)))
+            )
+        us, vs, ws = (np.array(x) for x in zip(*edges))
+    elif shape == "soup":
+        n = int(rng.integers(2, 8))
+        m = int(rng.integers(1, 30))  # heavy duplication expected
+        us = rng.integers(0, n, size=m)
+        vs = rng.integers(0, n, size=m)
+        ws = rng.integers(1, 5, size=m)
+    else:  # near_tree
+        n = int(rng.integers(2, 16))
+        perm = rng.permutation(n)
+        us = np.array([perm[int(rng.integers(i))] for i in range(1, n)], dtype=np.int64)
+        vs = perm[1:]
+        ws = rng.integers(1, 9, size=n - 1)
+        extra = int(rng.integers(0, 3))
+        us = np.concatenate((us, rng.integers(0, n, size=extra)))
+        vs = np.concatenate((vs, rng.integers(0, n, size=extra)))
+        ws = np.concatenate((ws, rng.integers(1, 9, size=extra)))
+    return from_edges(n, us, vs, ws), seed
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=graph_shapes())
+def test_fuzz_all_exact_solvers(data):
+    g, seed = data
+    check_graph(g)
+    if g.n < 2:
+        return
+    values = {}
+    for algo in EXACT_ALGORITHMS:
+        res = minimum_cut(g, algorithm=algo, rng=seed)
+        values[algo] = res.value
+        if res.side is not None:
+            assert res.verify(g), f"{algo} side does not certify"
+    assert len(set(values.values())) == 1, f"disagreement: {values}"
+    if is_connected(g):
+        assert next(iter(values.values())) == oracle_mincut(g)
+    else:
+        assert next(iter(values.values())) == 0

@@ -1,0 +1,61 @@
+"""Tests for the instance-generator CLI."""
+
+import pytest
+
+from repro.gen_cli import main
+from repro.graph import check_graph, is_connected, read_dimacs, read_edge_list, read_metis
+
+
+class TestGenCli:
+    def test_rhg_metis(self, tmp_path, capsys):
+        out = tmp_path / "g.graph"
+        assert main(["-o", str(out), "rhg", "--n", "256", "--avg-degree", "8"]) == 0
+        g = read_metis(out)
+        check_graph(g)
+        assert g.n == 256
+        assert "wrote" in capsys.readouterr().out
+
+    def test_rmat_dimacs(self, tmp_path):
+        out = tmp_path / "g.dimacs"
+        assert main(["-o", str(out), "--format", "dimacs", "rmat", "--scale", "7", "--avg-degree", "6"]) == 0
+        g = read_dimacs(out)
+        assert g.n == 128
+
+    def test_chung_lu_edgelist(self, tmp_path):
+        out = tmp_path / "g.txt"
+        rc = main(
+            ["-o", str(out), "--format", "edgelist", "chung-lu", "--n", "200",
+             "--avg-degree", "6", "--communities", "4"]
+        )
+        assert rc == 0
+        check_graph(read_edge_list(out))
+
+    def test_gnm_connected_weighted(self, tmp_path):
+        out = tmp_path / "g.graph"
+        rc = main(
+            ["-o", str(out), "gnm", "--n", "50", "--m", "80", "--connected",
+             "--weights", "1", "9"]
+        )
+        assert rc == 0
+        g = read_metis(out)
+        assert g.m == 80 and is_connected(g)
+        assert not g.is_unweighted()
+
+    def test_world_instance(self, tmp_path):
+        out = tmp_path / "core.graph"
+        rc = main(["-o", str(out), "world", "--name", "uk-web-like", "--k", "6", "--scale", "0.35"])
+        assert rc == 0
+        g = read_metis(out)
+        assert g.degrees().min() >= 6
+
+    def test_world_missing_k(self, tmp_path, capsys):
+        out = tmp_path / "x.graph"
+        rc = main(["-o", str(out), "world", "--name", "uk-web-like", "--k", "99"])
+        assert rc == 2
+        assert "no k=99" in capsys.readouterr().err
+
+    def test_seed_reproducible(self, tmp_path):
+        a, b = tmp_path / "a.graph", tmp_path / "b.graph"
+        for path in (a, b):
+            main(["-o", str(path), "--seed", "5", "gnm", "--n", "30", "--m", "60"])
+        assert a.read_text() == b.read_text()

@@ -1,0 +1,217 @@
+"""Tests for the workload generators (G(n,m), RMAT, Chung–Lu, RHG, worlds)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generators import (
+    DEFAULT_WORLDS,
+    build_instances,
+    build_suite,
+    build_world,
+    chung_lu,
+    connected_gnm,
+    gnm,
+    powerlaw_weights,
+    radius_for_avg_degree,
+    rhg,
+    rmat,
+    sample_points,
+)
+from repro.graph import check_graph, connected_components, is_connected
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        g = gnm(50, 200, rng=0)
+        assert g.n == 50 and g.m == 200
+        check_graph(g)
+
+    def test_dense_regime(self):
+        g = gnm(20, 150, rng=1)
+        assert g.m == 150
+        check_graph(g)
+
+    def test_full_graph(self):
+        g = gnm(8, 28, rng=2)
+        assert g.m == 28  # K8
+
+    def test_zero_edges(self):
+        g = gnm(5, 0, rng=0)
+        assert g.m == 0
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            gnm(4, 7)
+
+    def test_weights_in_range(self):
+        g = gnm(30, 100, rng=3, weights=(2, 5))
+        assert g.adjwgt.min() >= 2 and g.adjwgt.max() <= 5
+
+    def test_invalid_weight_range(self):
+        with pytest.raises(ValueError):
+            gnm(5, 4, weights=(0, 3))
+
+    def test_seed_reproducible(self):
+        assert gnm(30, 80, rng=7) == gnm(30, 80, rng=7)
+
+
+class TestConnectedGnm:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 40))
+    def test_property_connected_exact_m(self, seed, n):
+        rng = np.random.default_rng(seed)
+        m = min(n - 1 + int(rng.integers(0, n + 1)), n * (n - 1) // 2)
+        g = connected_gnm(n, m, rng=rng)
+        check_graph(g)
+        assert g.m == m
+        if n >= 1:
+            assert is_connected(g)
+
+    def test_m_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            connected_gnm(5, 3)
+
+
+class TestRmat:
+    def test_shape(self):
+        g = rmat(10, 8, rng=0)
+        check_graph(g)
+        assert g.n == 1024
+        # duplicates merge, so realized degree is somewhat below target
+        assert 3 <= 2 * g.m / g.n <= 8
+
+    def test_skew_produces_hubs(self):
+        g = rmat(11, 16, rng=1)
+        degs = g.degrees()
+        assert degs.max() > 15 * max(1, int(np.median(degs[degs > 0])))
+
+    def test_uniform_rmat_no_hubs(self):
+        g = rmat(10, 16, a=0.25, b=0.25, c=0.25, rng=1)
+        assert g.degrees().max() < 60
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(5, 4, a=0.9, b=0.2, c=0.2)
+
+    def test_zero_degree(self):
+        g = rmat(4, 0, rng=0)
+        assert g.m == 0
+
+
+class TestChungLu:
+    def test_powerlaw_weights_monotone(self):
+        w = powerlaw_weights(100, 2.5)
+        assert (np.diff(w) <= 0).all()
+        with pytest.raises(ValueError):
+            powerlaw_weights(10, 1.0)
+
+    def test_degree_target(self):
+        g = chung_lu(2000, 12, gamma=2.5, rng=0)
+        check_graph(g)
+        realized = 2 * g.m / g.n
+        assert 7 <= realized <= 12.5  # duplicate merging loses some
+
+    def test_pure_communities_disconnect(self):
+        """mu=1.0 confines every edge within a community: the communities
+        can never merge, so the graph has at least that many components."""
+        g = chung_lu(800, 12, gamma=2.5, communities=8, mu=1.0, rng=1)
+        ncomp, _ = connected_components(g)
+        assert ncomp >= 8
+
+    def test_communities_add_structure(self):
+        """With strong planted communities, label propagation finds clusters
+        substantially coarser than singletons but finer than one blob."""
+        from repro.viecut import cluster_labels
+
+        comm = chung_lu(800, 12, gamma=2.5, communities=8, mu=0.8, rng=1)
+        nc = cluster_labels(comm, iterations=2, rng=0).max() + 1
+        assert 2 <= nc <= comm.n // 4
+
+    def test_invalid_mu(self):
+        with pytest.raises(ValueError):
+            chung_lu(10, 3, mu=1.5)
+
+
+class TestRhg:
+    def test_invariants(self):
+        g = rhg(512, 8, rng=0)
+        check_graph(g)
+
+    def test_degree_calibration(self):
+        g = rhg(2048, 16, rng=1)
+        realized = 2 * g.m / g.n
+        assert 10 <= realized <= 24, f"calibration off: {realized}"
+
+    def test_matches_bruteforce_small(self):
+        """Band pruning is exact: same edge set as the O(n²) check."""
+        n, k = 150, 10
+        g, r, theta = rhg(n, k, rng=3, return_coords=True)
+        R = radius_for_avg_degree(n, k, 2.0)
+        edges = set()
+        for i in range(n):
+            dth = np.abs(theta - theta[i])
+            dth = np.minimum(dth, 2 * math.pi - dth)
+            coshd = np.cosh(r[i]) * np.cosh(r) - np.sinh(r[i]) * np.sinh(r) * np.cos(dth)
+            for j in np.flatnonzero(coshd <= math.cosh(R)):
+                if j > i:
+                    edges.add((i, int(j)))
+        us, vs, _ = g.edge_arrays()
+        assert set(zip(us.tolist(), vs.tolist())) == edges
+
+    def test_powerlaw_tail(self):
+        """γ = 2α+1 = 5: hubs exist but are milder than γ=2.2 RMAT hubs."""
+        g = rhg(4096, 16, alpha=2.0, rng=2)
+        degs = np.sort(g.degrees())[::-1]
+        assert degs[0] > 3 * 16  # heavy tail present
+        assert degs[0] < g.n // 4  # but no star-like hub
+
+    def test_radius_formula_monotone(self):
+        assert radius_for_avg_degree(1024, 8, 2.0) > radius_for_avg_degree(1024, 32, 2.0)
+        with pytest.raises(ValueError):
+            radius_for_avg_degree(1024, 8, 0.4)
+
+    def test_sample_points_in_disk(self):
+        rng = np.random.default_rng(0)
+        r, theta = sample_points(500, 10.0, 2.0, rng)
+        assert (r >= 0).all() and (r <= 10.0).all()
+        assert (theta >= 0).all() and (theta < 2 * math.pi).all()
+
+    def test_tiny_graphs(self):
+        assert rhg(0, 4, rng=0).n == 0
+        assert rhg(1, 4, rng=0).n == 1
+
+
+class TestWorlds:
+    def test_suite_builds(self):
+        suite = build_suite(scale=0.25)
+        assert len(suite) >= 12
+        for inst in suite:
+            check_graph(inst.graph)
+            assert is_connected(inst.graph)
+            assert inst.graph.degrees().min() >= inst.k
+
+    def test_pods_create_nontrivial_cuts(self):
+        """The planted pods force λ <= attachment width < k <= δ."""
+        from repro.core.noi import noi_mincut
+
+        spec = DEFAULT_WORLDS[2]  # uk-web-like, pod_attach=(1, 1)
+        insts = build_instances(spec, scale=0.35)
+        assert insts, "suite world produced no instances"
+        for inst in insts:
+            lam = noi_mincut(inst.graph, rng=0, compute_side=False).value
+            delta = int(inst.graph.weighted_degrees().min())
+            assert lam <= min(spec.pod_attach)
+            assert lam < delta
+
+    def test_world_seed_reproducible(self):
+        spec = DEFAULT_WORLDS[0]
+        assert build_world(spec, scale=0.25) == build_world(spec, scale=0.25)
+
+    def test_unknown_kind_rejected(self):
+        from repro.generators.worlds import WorldSpec
+
+        with pytest.raises(ValueError):
+            build_world(WorldSpec("x", "nope", 64, 4.0, (2,)))

@@ -1,0 +1,67 @@
+"""Tests for the Gomory–Hu cut tree (all-pairs minimum cuts)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.gomory_hu import gomory_hu_tree
+from repro.generators import connected_gnm
+from repro.graph import from_edges
+
+from .conftest import graph_to_nx, oracle_mincut
+
+
+class TestStructure:
+    def test_tree_shape(self, dumbbell):
+        tree = gomory_hu_tree(dumbbell)
+        assert tree.n == 8
+        assert tree.parent[0] == 0
+        # every non-root parent pointer decreases toward the root eventually
+        for v in range(1, 8):
+            x, hops = v, 0
+            while x != 0:
+                x = int(tree.parent[x])
+                hops += 1
+                assert hops <= 8
+
+    def test_dumbbell_pairs(self, dumbbell):
+        tree = gomory_hu_tree(dumbbell)
+        # across the bridge: λ = 1; inside a K4: λ = 3
+        assert tree.min_cut_value(0, 7) == 1
+        assert tree.min_cut_value(0, 1) == 3
+        assert tree.min_cut_value(4, 6) == 3
+
+    def test_global_min_cut(self, dumbbell, weighted_cycle):
+        assert gomory_hu_tree(dumbbell).global_min_cut()[0] == 1
+        assert gomory_hu_tree(weighted_cycle).global_min_cut()[0] == 2
+
+    def test_same_vertex_rejected(self, triangle):
+        tree = gomory_hu_tree(triangle)
+        with pytest.raises(ValueError):
+            tree.min_cut_value(1, 1)
+
+    def test_disconnected_rejected(self, two_triangles_disconnected):
+        with pytest.raises(ValueError):
+            gomory_hu_tree(two_triangles_disconnected)
+
+    def test_tiny_rejected(self):
+        with pytest.raises(ValueError):
+            gomory_hu_tree(from_edges(1, [], []))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_all_pairs_match_maxflow(seed):
+    import networkx as nx
+
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 14))
+    m = min(int(rng.integers(n - 1, 3 * n)), n * (n - 1) // 2)
+    g = connected_gnm(n, m, rng=rng, weights=(1, 8))
+    tree = gomory_hu_tree(g)
+    G = graph_to_nx(g)
+    for u, v in itertools.combinations(range(n), 2):
+        assert tree.min_cut_value(u, v) == nx.maximum_flow_value(G, u, v)
+    assert tree.global_min_cut()[0] == oracle_mincut(g)

@@ -1,0 +1,96 @@
+"""Cross-algorithm integration tests: every exact solver, one truth.
+
+The strongest correctness signal in the package: on every instance from a
+zoo of structured and random families, all six exact solver configurations
+must return one identical value — which also matches the networkx oracle —
+and each returned side must certify that value.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import minimum_cut
+from repro.core import EXACT_ALGORITHMS
+from repro.generators import chung_lu, connected_gnm, rhg, rmat
+from repro.graph import largest_component
+
+from .conftest import oracle_mincut
+
+
+def exact_all(g, seed=0):
+    values = {}
+    for algo in EXACT_ALGORITHMS:
+        res = minimum_cut(g, algorithm=algo, rng=seed)
+        assert res.verify(g), f"{algo} returned an uncertified cut"
+        values[algo] = res.value
+    assert len(set(values.values())) == 1, f"disagreement: {values}"
+    return next(iter(values.values()))
+
+
+class TestStructuredZoo:
+    def test_rhg_instance(self):
+        g, _ = largest_component(rhg(256, 10, rng=0))
+        assert exact_all(g) == oracle_mincut(g)
+
+    def test_rmat_instance(self):
+        g, _ = largest_component(rmat(7, 8, rng=1))
+        assert exact_all(g) == oracle_mincut(g)
+
+    def test_chung_lu_instance(self):
+        g, _ = largest_component(chung_lu(200, 8, communities=4, rng=2))
+        assert exact_all(g) == oracle_mincut(g)
+
+    def test_suite_instance_with_pods(self):
+        from repro.generators import build_instances
+        from repro.generators.worlds import WorldSpec
+
+        spec = WorldSpec("mini", "chung_lu", 256, 12.0, (3,), communities=4, seed=3, pod_attach=(1,))
+        insts = build_instances(spec, scale=1.0)
+        assert insts
+        g = insts[0].graph
+        lam = exact_all(g)
+        assert lam == oracle_mincut(g)
+        assert lam <= 1  # planted pod attachment
+
+    def test_weighted_torus(self):
+        # 4x4 torus with heavy horizontal, light vertical rings
+        def vid(i, j):
+            return 4 * i + j
+
+        us, vs, ws = [], [], []
+        for i in range(4):
+            for j in range(4):
+                us.append(vid(i, j)); vs.append(vid(i, (j + 1) % 4)); ws.append(3)
+                us.append(vid(i, j)); vs.append(vid((i + 1) % 4, j)); ws.append(1)
+        from repro.graph import from_edges
+
+        g = from_edges(16, us, vs, ws)
+        assert exact_all(g) == oracle_mincut(g)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 100_000))
+def test_property_all_exact_solvers_agree(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 18))
+    m = min(int(rng.integers(n - 1, 3 * n)), n * (n - 1) // 2)
+    g = connected_gnm(n, m, rng=rng, weights=(1, 9))
+    assert exact_all(g, seed=seed) == oracle_mincut(g)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 100_000))
+def test_property_inexact_solvers_bounded_by_exact(seed):
+    """viecut/matula/karger-stein always sit in [λ, guarantee]."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 20))
+    m = min(int(rng.integers(n, 3 * n)), n * (n - 1) // 2)
+    g = connected_gnm(n, m, rng=rng, weights=(1, 6))
+    lam = oracle_mincut(g)
+    vc = minimum_cut(g, algorithm="viecut", rng=seed)
+    assert vc.value >= lam and vc.verify(g)
+    mt = minimum_cut(g, algorithm="matula", eps=0.5, rng=seed)
+    assert lam <= mt.value <= 2.5 * lam and mt.verify(g)
+    ks = minimum_cut(g, algorithm="karger-stein", rng=seed)
+    assert ks.value >= lam and ks.verify(g)

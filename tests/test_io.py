@@ -1,0 +1,91 @@
+"""Tests for METIS and edge-list IO round-trips and error handling."""
+
+import pytest
+
+from repro.generators import gnm
+from repro.graph import (
+    from_edges,
+    read_edge_list,
+    read_metis,
+    write_edge_list,
+    write_metis,
+)
+
+
+class TestMetis:
+    def test_roundtrip_unweighted(self, tmp_path, dumbbell):
+        path = tmp_path / "g.graph"
+        write_metis(dumbbell, path)
+        assert read_metis(path) == dumbbell
+
+    def test_roundtrip_weighted(self, tmp_path, weighted_cycle):
+        path = tmp_path / "g.graph"
+        write_metis(weighted_cycle, path)
+        assert read_metis(path) == weighted_cycle
+
+    def test_roundtrip_random(self, tmp_path):
+        g = gnm(40, 120, rng=1, weights=(1, 9))
+        path = tmp_path / "r.graph"
+        write_metis(g, path)
+        assert read_metis(path) == g
+
+    def test_roundtrip_isolated_vertices(self, tmp_path):
+        g = from_edges(5, [0], [1])
+        path = tmp_path / "iso.graph"
+        write_metis(g, path)
+        assert read_metis(path) == g
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "c.graph"
+        path.write_text("% a comment\n\n3 2\n2 3\n1\n1\n")
+        g = read_metis(path)
+        assert g.n == 3 and g.m == 2
+
+    def test_explicit_fmt_codes(self, tmp_path):
+        path = tmp_path / "f.graph"
+        path.write_text("2 1 001\n2 5\n1 5\n")
+        g = read_metis(path)
+        assert g.edge_weight(0, 1) == 5
+
+    def test_vertex_weight_fmt_rejected(self, tmp_path):
+        path = tmp_path / "vw.graph"
+        path.write_text("2 1 011\n1 2\n1 1\n")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("3 5\n2\n1\n\n")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.graph"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path, weighted_cycle):
+        path = tmp_path / "g.txt"
+        write_edge_list(weighted_cycle, path)
+        assert read_edge_list(path) == weighted_cycle
+
+    def test_header_preserves_isolated(self, tmp_path):
+        g = from_edges(6, [0], [1], [3])
+        path = tmp_path / "iso.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path).n == 6
+
+    def test_unweighted_lines(self, tmp_path):
+        path = tmp_path / "u.txt"
+        path.write_text("0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.m == 2 and g.is_unweighted()
+
+    def test_explicit_n(self, tmp_path):
+        path = tmp_path / "n.txt"
+        path.write_text("0 1 4\n")
+        g = read_edge_list(path, n=10)
+        assert g.n == 10

@@ -1,0 +1,153 @@
+"""Tests for k-core decomposition and connected-component utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.generators import gnm
+from repro.graph import (
+    connected_components,
+    connected_components_bfs,
+    core_numbers,
+    degeneracy,
+    from_edges,
+    induced_subgraph,
+    is_connected,
+    k_core,
+    k_core_largest_component,
+    largest_component,
+)
+
+from .conftest import graph_to_nx
+
+
+class TestComponents:
+    def test_single_component(self, dumbbell):
+        k, labels = connected_components(dumbbell)
+        assert k == 1
+        assert (labels == 0).all()
+
+    def test_two_components(self, two_triangles_disconnected):
+        k, labels = connected_components(two_triangles_disconnected)
+        assert k == 2
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_isolated_vertices(self):
+        g = from_edges(5, [0], [1])
+        k, _ = connected_components(g)
+        assert k == 4
+
+    def test_empty_graph(self):
+        k, labels = connected_components(from_edges(0, [], []))
+        assert k == 0 and len(labels) == 0
+        assert not is_connected(from_edges(0, [], []))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_matches_bfs(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 60))
+        m = min(int(rng.integers(0, 2 * n)), n * (n - 1) // 2)
+        g = gnm(n, m, rng=rng)
+        k1, l1 = connected_components(g)
+        k2, l2 = connected_components_bfs(g)
+        assert k1 == k2
+        # same partition up to renaming
+        mapping = {}
+        for a, b in zip(l1.tolist(), l2.tolist()):
+            assert mapping.setdefault(a, b) == b
+
+    def test_largest_component(self):
+        # triangle + edge + isolated vertex
+        g = from_edges(6, [0, 1, 2, 3], [1, 2, 0, 4])
+        sub, old_ids = largest_component(g)
+        assert sub.n == 3
+        assert sorted(old_ids.tolist()) == [0, 1, 2]
+
+    def test_induced_subgraph_weights(self, weighted_cycle):
+        sub, ids = induced_subgraph(weighted_cycle, np.array([0, 1, 2]))
+        assert sub.n == 3
+        assert sub.m == 2  # edges 0-1 (w3) and 1-2 (w1)
+        assert sub.total_weight() == 4
+
+
+class TestKCore:
+    def test_core_numbers_path(self, path4):
+        assert core_numbers(path4).tolist() == [1, 1, 1, 1]
+
+    def test_core_numbers_clique(self, clique6):
+        assert core_numbers(clique6).tolist() == [5] * 6
+
+    def test_core_numbers_lollipop(self):
+        # K4 with a path of 2 hanging off: clique cores 3, path cores 1
+        g = from_edges(
+            6, [0, 0, 0, 1, 1, 2, 3, 4], [1, 2, 3, 2, 3, 3, 4, 5]
+        )
+        cores = core_numbers(g)
+        assert cores[:4].tolist() == [3, 3, 3, 3]
+        assert cores[4] == 1 and cores[5] == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_property_matches_networkx(self, seed):
+        import networkx as nx
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 50))
+        m = min(int(rng.integers(0, 3 * n)), n * (n - 1) // 2)
+        g = gnm(n, m, rng=rng)
+        expected = nx.core_number(graph_to_nx(g))
+        got = core_numbers(g)
+        assert all(got[v] == expected[v] for v in range(n))
+
+    def test_k_core_extraction(self):
+        g = from_edges(
+            6, [0, 0, 0, 1, 1, 2, 3, 4], [1, 2, 3, 2, 3, 3, 4, 5]
+        )
+        core, ids = k_core(g, 3)
+        assert sorted(ids.tolist()) == [0, 1, 2, 3]
+        assert core.degrees().min() >= 3
+
+    def test_k_core_empty(self, path4):
+        core, ids = k_core(path4, 5)
+        assert core.n == 0 and len(ids) == 0
+
+    def test_k_core_zero_is_whole_graph(self, dumbbell):
+        core, ids = k_core(dumbbell, 0)
+        assert core.n == dumbbell.n
+
+    def test_k_core_negative_rejected(self, dumbbell):
+        with pytest.raises(ValueError):
+            k_core(dumbbell, -1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 6))
+    def test_property_k_core_is_maximal(self, seed, k):
+        """Every vertex inside has degree >= k; matches networkx.k_core."""
+        import networkx as nx
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 40))
+        m = min(int(rng.integers(0, 3 * n)), n * (n - 1) // 2)
+        g = gnm(n, m, rng=rng)
+        core, ids = k_core(g, k)
+        if core.n:
+            assert core.degrees().min() >= k
+        expected = nx.k_core(graph_to_nx(g), k)
+        assert sorted(ids.tolist()) == sorted(expected.nodes())
+
+    def test_pipeline_matches_manual(self):
+        g = from_edges(
+            8,
+            [0, 0, 0, 1, 1, 2, 3, 4, 6],
+            [1, 2, 3, 2, 3, 3, 4, 5, 7],
+        )
+        inst, ids = k_core_largest_component(g, 3)
+        assert sorted(ids.tolist()) == [0, 1, 2, 3]
+
+    def test_degeneracy(self, clique6, path4):
+        assert degeneracy(clique6) == 5
+        assert degeneracy(path4) == 1
+        assert degeneracy(from_edges(0, [], [])) == 0

@@ -1,0 +1,133 @@
+"""Shape tests: the paper's qualitative experimental claims, as assertions.
+
+These encode the reproduction contract of DESIGN.md §4 at test scale —
+direction and ordering claims that must hold regardless of machine:
+
+* bounded priority queues never do more update work than unbounded, and
+  the gap is large on hub-heavy (power-law) graphs, small on RHG (§4.2);
+* a tighter λ̂ never decreases the number of contractible edges one
+  CAPFOREST pass certifies (§3.1.1);
+* the modeled parallel speedup grows with the worker count (§4.3);
+* the flow-based baseline (Hao–Orlin) and Stoer–Wagner are slower than
+  engineered NOI on a representative instance (Figure 4's ordering);
+* parallel CAPFOREST's total work grows with p (region-boundary
+  duplication) while the makespan work shrinks — the trade Figure 5 rides.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.baselines import hao_orlin, stoer_wagner
+from repro.core.capforest import capforest
+from repro.core.mincut import parallel_mincut
+from repro.core.noi import noi_mincut
+from repro.core.parallel_capforest import parallel_capforest
+from repro.generators import chung_lu, rhg
+from repro.graph import largest_component
+
+
+@pytest.fixture(scope="module")
+def hub_graph():
+    g, _ = largest_component(chung_lu(1500, 20, gamma=2.1, communities=12, mu=0.5, rng=3))
+    return g
+
+
+@pytest.fixture(scope="module")
+def rhg_graph():
+    g, _ = largest_component(rhg(1024, 16, rng=3))
+    return g
+
+
+class TestBoundedQueueShape:
+    def test_clamp_never_increases_updates(self, hub_graph, rhg_graph):
+        for g in (hub_graph, rhg_graph):
+            _, delta = g.min_weighted_degree()
+            unb = capforest(g, int(delta), bounded=False, start=0)
+            bnd = capforest(g, int(delta), bounded=True, pq_kind="heap", start=0)
+            assert bnd.pq_stats.updates <= unb.pq_stats.updates
+
+    def test_clamp_gap_larger_on_hub_graph(self, hub_graph, rhg_graph):
+        """§4.2: 'in these [high-degree] vertices NOI-HNSS often reaches
+        priority values much higher than λ̂' — the savings ratio on the
+        power-law graph must clearly exceed the RHG one."""
+
+        def savings(g):
+            _, delta = g.min_weighted_degree()
+            unb = capforest(g, int(delta), bounded=False, start=0)
+            bnd = capforest(g, int(delta), bounded=True, pq_kind="heap", start=0)
+            return bnd.pq_stats.updates / max(unb.pq_stats.updates, 1)
+
+        hub_ratio = savings(hub_graph)  # smaller = more savings
+        rhg_ratio = savings(rhg_graph)
+        assert hub_ratio < rhg_ratio, (hub_ratio, rhg_ratio)
+
+    def test_skipped_updates_positive_on_hubs(self, hub_graph):
+        _, delta = hub_graph.min_weighted_degree()
+        res = capforest(hub_graph, int(delta), bounded=True, pq_kind="heap", start=0)
+        assert res.pq_stats.skipped_updates > 0
+
+
+class TestBoundQualityShape:
+    def test_tighter_bound_more_marks(self, hub_graph):
+        """§3.1.1: lowering λ̂ lets CAPFOREST certify more contractions."""
+        lam = noi_mincut(hub_graph, rng=0, compute_side=False).value
+        _, delta = hub_graph.min_weighted_degree()
+        marks = []
+        for bound in sorted({max(lam, 1), int(delta), 2 * int(delta)}):
+            res = capforest(hub_graph, bound, pq_kind="heap", start=0, fixed_bound=True)
+            marks.append((bound, res.n_marked))
+        for (b1, m1), (b2, m2) in zip(marks, marks[1:]):
+            assert m1 >= m2, f"bound {b1}->{b2} marks {m1}->{m2}"
+
+
+class TestParallelShape:
+    def test_modeled_speedup_grows_with_p(self, hub_graph):
+        speedups = []
+        for p in (1, 2, 4):
+            res = parallel_mincut(
+                hub_graph, workers=p, use_viecut=False, rng=1, compute_side=False
+            )
+            speedups.append(res.stats.get("modeled_speedup", 1.0))
+        assert speedups[0] <= speedups[1] <= speedups[2]
+        assert speedups[2] > 2.0
+
+    def test_total_work_grows_makespan_shrinks(self, hub_graph):
+        _, delta = hub_graph.min_weighted_degree()
+        r1 = parallel_capforest(hub_graph, int(delta), workers=1, rng=2)
+        r4 = parallel_capforest(hub_graph, int(delta), workers=4, rng=2)
+        assert r4.total_work >= r1.total_work  # boundary duplication
+        assert r4.makespan_work < r1.makespan_work  # but the critical path shrinks
+
+    def test_region_coverage_balanced(self, hub_graph):
+        _, delta = hub_graph.min_weighted_degree()
+        res = parallel_capforest(hub_graph, int(delta), workers=4, pq_kind="bqueue", rng=3)
+        sizes = [w.vertices_scanned for w in res.workers]
+        assert sum(sizes) == hub_graph.n
+        assert max(sizes) <= 3 * (hub_graph.n / 4), f"unbalanced regions {sizes}"
+
+
+class TestSolverOrderingShape:
+    """Figure 4's ranking at miniature scale: engineered NOI beats the
+    flow-based and Stoer–Wagner baselines by a wide margin."""
+
+    def test_noi_beats_hao_orlin(self, hub_graph):
+        t0 = time.perf_counter()
+        noi = noi_mincut(hub_graph, rng=0, compute_side=False)
+        t_noi = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ho = hao_orlin(hub_graph, compute_side=False)
+        t_ho = time.perf_counter() - t0
+        assert noi.value == ho.value
+        assert t_ho > 2 * t_noi, f"HO {t_ho:.3f}s vs NOI {t_noi:.3f}s"
+
+    def test_noi_beats_stoer_wagner(self, rhg_graph):
+        t0 = time.perf_counter()
+        noi = noi_mincut(rhg_graph, rng=0, compute_side=False)
+        t_noi = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sw = stoer_wagner(rhg_graph, compute_side=False)
+        t_sw = time.perf_counter() - t0
+        assert noi.value == sw.value
+        assert t_sw > 3 * t_noi, f"SW {t_sw:.3f}s vs NOI {t_noi:.3f}s"

@@ -1,0 +1,86 @@
+"""Tests for the parallel Matula approximation (the paper's §5 future work)
+and the frozen-bound parallel CAPFOREST it is built on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.matula import matula_approx
+from repro.core.parallel_capforest import parallel_capforest
+from repro.generators import connected_gnm
+
+from .conftest import oracle_mincut
+
+
+class TestFrozenBoundParallelCapforest:
+    def test_bound_not_tightened(self, dumbbell):
+        # scan cuts of value 1 exist; the frozen threshold must stay at 3
+        res = parallel_capforest(dumbbell, 3, workers=2, rng=0, fixed_bound=True)
+        assert res.lambda_hat == 3
+
+    def test_scan_cuts_still_reported(self, dumbbell):
+        res = parallel_capforest(dumbbell, 3, workers=2, rng=0, fixed_bound=True)
+        alphas = [w.best_alpha for w in res.workers if w.best_alpha is not None]
+        assert alphas, "workers must report their scan cuts"
+        assert min(alphas) >= 1
+
+    def test_coverage_unaffected(self):
+        rng = np.random.default_rng(2)
+        g = connected_gnm(40, 90, rng=rng)
+        res = parallel_capforest(g, 3, workers=3, rng=1, fixed_bound=True)
+        assert sum(w.vertices_scanned for w in res.workers) == g.n
+
+    @pytest.mark.parametrize("executor", ["serial", "threads"])
+    def test_marks_respect_frozen_threshold(self, executor):
+        """With a frozen threshold t, every marked edge has connectivity >= t
+        in the scanned-subgraph sense; spot-check via the exact solver on a
+        graph where the threshold sits below δ."""
+        rng = np.random.default_rng(3)
+        g = connected_gnm(20, 60, rng=rng, weights=(1, 4))
+        res = parallel_capforest(g, 2, workers=2, executor=executor, rng=4, fixed_bound=True)
+        # contracting these marks must never produce a multigraph whose min
+        # cut is below min(2, λ): cuts smaller than the threshold survive
+        from repro.graph.contract import contract_by_union_find
+
+        lam = oracle_mincut(g)
+        gc, _ = contract_by_union_find(g, res.uf)
+        if gc.n >= 2:
+            assert oracle_mincut(gc) >= min(2, lam)
+
+
+class TestParallelMatula:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 100_000), workers=st.integers(2, 4))
+    def test_property_guarantee_holds_parallel(self, seed, workers):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 26))
+        m = min(int(rng.integers(n, 4 * n)), n * (n - 1) // 2)
+        g = connected_gnm(n, m, rng=rng, weights=(1, 7))
+        lam = oracle_mincut(g)
+        res = matula_approx(g, eps=0.5, rng=rng, workers=workers)
+        assert res.verify(g)
+        assert lam <= res.value <= 2.5 * lam
+
+    def test_parallel_matches_quality_statistically(self):
+        rng = np.random.default_rng(7)
+        seq_exact = par_exact = total = 0
+        for _ in range(12):
+            g = connected_gnm(30, 120, rng=rng, weights=(1, 5))
+            lam = oracle_mincut(g)
+            total += 1
+            seq_exact += matula_approx(g, rng=rng, workers=1).value == lam
+            par_exact += matula_approx(g, rng=rng, workers=3).value == lam
+        # both modes should usually land on the exact cut on easy instances
+        assert seq_exact >= total - 3
+        assert par_exact >= total - 3
+
+    def test_disconnected_parallel(self, two_triangles_disconnected):
+        res = matula_approx(two_triangles_disconnected, rng=0, workers=3)
+        assert res.value == 0
+
+    def test_stats_rounds(self):
+        rng = np.random.default_rng(8)
+        g = connected_gnm(50, 200, rng=rng)
+        res = matula_approx(g, rng=0, workers=2)
+        assert res.stats["rounds"] >= 1
+        assert res.stats["edges_scanned"] > 0

@@ -1,0 +1,109 @@
+"""Tests for ParCut (Algorithm 2): exactness across executors and configs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mincut import parallel_mincut
+from repro.generators import connected_gnm
+from repro.graph import from_edges
+
+from .conftest import oracle_mincut
+
+
+class TestCanonical:
+    @pytest.mark.parametrize("pq", ["bstack", "bqueue", "heap"])
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_dumbbell(self, dumbbell, pq, workers):
+        res = parallel_mincut(dumbbell, workers=workers, pq_kind=pq, rng=0)
+        assert res.value == 1
+        assert res.verify(dumbbell)
+
+    def test_weighted_cycle(self, weighted_cycle):
+        res = parallel_mincut(weighted_cycle, workers=2, rng=0)
+        assert res.value == 2
+        assert res.verify(weighted_cycle)
+
+    def test_two_vertices(self, two_vertices):
+        res = parallel_mincut(two_vertices, workers=2, rng=0)
+        assert res.value == 7
+
+    def test_disconnected(self, two_triangles_disconnected):
+        res = parallel_mincut(two_triangles_disconnected, rng=0)
+        assert res.value == 0
+        assert res.verify(two_triangles_disconnected)
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_mincut(from_edges(1, [], []))
+
+
+class TestConfigurations:
+    def test_no_viecut_seed(self, dumbbell):
+        res = parallel_mincut(dumbbell, use_viecut=False, rng=0)
+        assert res.value == 1
+        assert res.stats["viecut_value"] is None
+        assert res.algorithm.endswith("-noseed")
+
+    def test_viecut_seed_recorded(self, dumbbell):
+        res = parallel_mincut(dumbbell, use_viecut=True, rng=0)
+        assert res.stats["viecut_value"] is not None
+        assert res.stats["viecut_value"] >= 1
+
+    def test_stats_work_model(self):
+        rng = np.random.default_rng(2)
+        g = connected_gnm(60, 150, rng=rng)
+        res = parallel_mincut(g, workers=4, use_viecut=False, rng=3)
+        if res.stats["makespan_work"] > 0:
+            assert res.stats["modeled_speedup"] >= 1.0
+            assert res.stats["total_work"] >= res.stats["makespan_work"]
+
+    def test_compute_side_false(self, dumbbell):
+        res = parallel_mincut(dumbbell, rng=0, compute_side=False)
+        assert res.side is None
+        assert res.value == 1
+
+    def test_reproducible(self, dumbbell):
+        r1 = parallel_mincut(dumbbell, workers=3, rng=5)
+        r2 = parallel_mincut(dumbbell, workers=3, rng=5)
+        assert r1.value == r2.value
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    workers=st.integers(1, 4),
+    pq=st.sampled_from(["bstack", "bqueue", "heap"]),
+    use_viecut=st.booleans(),
+)
+def test_property_matches_oracle_serial(seed, workers, pq, use_viecut):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 24))
+    m = min(int(rng.integers(n - 1, 3 * n)), n * (n - 1) // 2)
+    g = connected_gnm(n, m, rng=rng, weights=(1, 8))
+    res = parallel_mincut(
+        g, workers=workers, pq_kind=pq, use_viecut=use_viecut, executor="serial", rng=rng
+    )
+    assert res.value == oracle_mincut(g)
+    assert res.verify(g)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_matches_oracle_threads(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 30))
+    m = min(int(rng.integers(n, 4 * n)), n * (n - 1) // 2)
+    g = connected_gnm(n, m, rng=rng, weights=(1, 6))
+    res = parallel_mincut(g, workers=3, executor="threads", rng=rng)
+    assert res.value == oracle_mincut(g)
+    assert res.verify(g)
+
+
+def test_processes_executor_exact():
+    rng = np.random.default_rng(31)
+    for _ in range(3):
+        g = connected_gnm(50, 120, rng=rng, weights=(1, 5))
+        res = parallel_mincut(g, workers=3, executor="processes", rng=rng)
+        assert res.value == oracle_mincut(g)
+        assert res.verify(g)

@@ -1,0 +1,230 @@
+"""Unit and property tests for BStack / BQueue / Heap priority queues.
+
+Covers: addressability, monotone key raises, the λ̂ bound clamp with skipped
+updates (paper Lemma 3.1 machinery), the pop-order contracts that distinguish
+BStack (LIFO in top bucket) from BQueue (FIFO in top bucket), and a
+hypothesis model check against a reference implementation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastructures import BQueuePQ, BStackPQ, HeapPQ, make_pq
+from repro.datastructures.pq import PQ_NAMES
+
+ALL_KINDS = ["bstack", "bqueue", "heap"]
+
+
+def make(kind, n, bound):
+    return make_pq(kind, n, bound=bound)
+
+
+class TestFactory:
+    def test_names(self):
+        assert set(PQ_NAMES) == set(ALL_KINDS)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_factory_types(self, kind):
+        q = make(kind, 4, 10)
+        expected = {"bstack": BStackPQ, "bqueue": BQueuePQ, "heap": HeapPQ}[kind]
+        assert isinstance(q, expected)
+
+    def test_bucket_requires_bound(self):
+        with pytest.raises(ValueError):
+            make_pq("bstack", 4, bound=None)
+        with pytest.raises(ValueError):
+            make_pq("bqueue", 4, bound=None)
+
+    def test_heap_allows_unbounded(self):
+        q = make_pq("heap", 4, bound=None)
+        q.insert_or_raise(0, 10**12)
+        assert q.pop_max() == (0, 10**12)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_pq("fibonacci", 4, bound=3)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+class TestCommonBehaviour:
+    def test_insert_pop_single(self, kind):
+        q = make(kind, 3, 10)
+        q.insert_or_raise(1, 5)
+        assert len(q) == 1
+        assert 1 in q
+        assert q.pop_max() == (1, 5)
+        assert len(q) == 0
+        assert 1 not in q
+
+    def test_pop_empty_raises(self, kind):
+        q = make(kind, 3, 10)
+        with pytest.raises(IndexError):
+            q.pop_max()
+
+    def test_max_order(self, kind):
+        q = make(kind, 5, 10)
+        for v, p in [(0, 3), (1, 7), (2, 1), (3, 9), (4, 5)]:
+            q.insert_or_raise(v, p)
+        popped = [q.pop_max() for _ in range(5)]
+        assert popped == [(3, 9), (1, 7), (4, 5), (0, 3), (2, 1)]
+
+    def test_raise_key(self, kind):
+        q = make(kind, 3, 100)
+        q.insert_or_raise(0, 1)
+        q.insert_or_raise(1, 50)
+        q.insert_or_raise(0, 60)  # raise 0 above 1
+        assert q.pop_max()[0] == 0
+
+    def test_lower_key_is_noop(self, kind):
+        q = make(kind, 2, 100)
+        q.insert_or_raise(0, 50)
+        q.insert_or_raise(0, 10)
+        assert q.key_of(0) == 50
+
+    def test_clamped_to_bound(self, kind):
+        q = make(kind, 2, 7)
+        q.insert_or_raise(0, 100)
+        assert q.key_of(0) == 7
+        assert q.pop_max() == (0, 7)
+
+    def test_update_at_bound_skipped(self, kind):
+        q = make(kind, 2, 7)
+        q.insert_or_raise(0, 7)
+        before = q.stats.updates
+        q.insert_or_raise(0, 100)
+        assert q.stats.updates == before
+        assert q.stats.skipped_updates == 1
+
+    def test_negative_priority_rejected(self, kind):
+        q = make(kind, 2, 7)
+        with pytest.raises(ValueError):
+            q.insert_or_raise(0, -1)
+
+    def test_key_of_absent_raises(self, kind):
+        q = make(kind, 2, 7)
+        with pytest.raises(KeyError):
+            q.key_of(1)
+
+    def test_reinsert_after_pop(self, kind):
+        q = make(kind, 2, 10)
+        q.insert_or_raise(0, 5)
+        q.pop_max()
+        q.insert_or_raise(0, 3)
+        assert q.pop_max() == (0, 3)
+
+    def test_stats_counts(self, kind):
+        q = make(kind, 4, 10)
+        q.insert_or_raise(0, 1)
+        q.insert_or_raise(1, 2)
+        q.insert_or_raise(0, 5)
+        q.pop_max()
+        assert q.stats.pushes == 2
+        assert q.stats.updates == 1
+        assert q.stats.pops == 1
+        assert q.stats.total == 4
+
+    def test_zero_priority(self, kind):
+        q = make(kind, 2, 10)
+        q.insert_or_raise(0, 0)
+        assert q.pop_max() == (0, 0)
+
+
+class TestBucketTieBreaking:
+    """The defining difference between BStack and BQueue (paper §3.1.3)."""
+
+    def test_bstack_lifo_within_bucket(self):
+        q = BStackPQ(4, bound=5)
+        for v in (0, 1, 2):
+            q.insert_or_raise(v, 5)
+        assert [q.pop_max()[0] for _ in range(3)] == [2, 1, 0]
+
+    def test_bqueue_fifo_within_bucket(self):
+        q = BQueuePQ(4, bound=5)
+        for v in (0, 1, 2):
+            q.insert_or_raise(v, 5)
+        assert [q.pop_max()[0] for _ in range(3)] == [0, 1, 2]
+
+    def test_bstack_pops_just_updated(self):
+        # the "always revisit the vertex whose priority was just raised" bias
+        q = BStackPQ(5, bound=9)
+        q.insert_or_raise(0, 9)
+        q.insert_or_raise(1, 9)
+        q.insert_or_raise(2, 4)
+        q.insert_or_raise(2, 9)  # raise 2 into top bucket last
+        assert q.pop_max()[0] == 2
+
+    def test_bqueue_prefers_oldest_in_top_bucket(self):
+        q = BQueuePQ(5, bound=9)
+        q.insert_or_raise(0, 9)
+        q.insert_or_raise(1, 4)
+        q.insert_or_raise(2, 9)
+        q.insert_or_raise(1, 9)
+        assert q.pop_max()[0] == 0
+
+    def test_removal_from_bucket_middle(self):
+        # raise the middle element of a 3-element bucket; list must stay intact
+        q = BQueuePQ(5, bound=9)
+        for v in (0, 1, 2):
+            q.insert_or_raise(v, 3)
+        q.insert_or_raise(1, 6)
+        assert q.pop_max() == (1, 6)
+        assert [q.pop_max()[0] for _ in range(2)] == [0, 2]
+
+
+class TestHeapInternals:
+    def test_heap_property_maintained(self):
+        q = HeapPQ(50)
+        import random
+
+        rng = random.Random(7)
+        for v in range(50):
+            q.insert_or_raise(v, rng.randint(0, 100))
+            assert q._check_heap_property()
+        for v in range(0, 50, 3):
+            q.insert_or_raise(v, q.key_of(v) + rng.randint(0, 50))
+            assert q._check_heap_property()
+        prev = None
+        while len(q):
+            _, k = q.pop_max()
+            assert q._check_heap_property()
+            if prev is not None:
+                assert k <= prev
+            prev = k
+
+
+@settings(max_examples=200)
+@given(
+    kind=st.sampled_from(ALL_KINDS),
+    bound=st.integers(min_value=0, max_value=20),
+    ops=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 40), st.booleans()),
+        max_size=60,
+    ),
+)
+def test_property_model_check(kind, bound, ops):
+    """Compare against a dict-based reference model.
+
+    For every pop, the returned key must be the model's maximum clamped key;
+    the returned vertex must be *some* vertex holding that key (tie order is
+    implementation-defined and tested separately above).
+    """
+    q = make(kind, 10, bound)
+    model: dict[int, int] = {}
+    for v, prio, do_pop in ops:
+        if do_pop and model:
+            vertex, key = q.pop_max()
+            assert key == max(model.values())
+            assert model[vertex] == key
+            del model[vertex]
+        else:
+            clamped = min(prio, bound)
+            if v in model:
+                if model[v] < bound:
+                    model[v] = max(model[v], clamped)
+            else:
+                model[v] = clamped
+            q.insert_or_raise(v, prio)
+        assert len(q) == len(model)
+        for vertex, key in model.items():
+            assert vertex in q
+            assert q.key_of(vertex) == key

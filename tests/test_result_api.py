@@ -1,0 +1,95 @@
+"""Tests for MinCutResult and the public minimum_cut facade."""
+
+import numpy as np
+import pytest
+
+from repro import minimum_cut
+from repro.core import ALGORITHMS, EXACT_ALGORITHMS, MinCutResult
+from repro.generators import connected_gnm
+from repro.graph import from_edges
+
+from .conftest import oracle_mincut
+
+
+class TestMinCutResult:
+    def test_partition(self, dumbbell):
+        side = np.zeros(8, dtype=bool)
+        side[:4] = True
+        res = MinCutResult(1, side, 8, "test")
+        a, b = res.partition()
+        assert a == [0, 1, 2, 3] and b == [4, 5, 6, 7]
+
+    def test_verify_true(self, dumbbell):
+        side = np.zeros(8, dtype=bool)
+        side[:4] = True
+        assert MinCutResult(1, side, 8, "t").verify(dumbbell)
+
+    def test_verify_wrong_value(self, dumbbell):
+        side = np.zeros(8, dtype=bool)
+        side[:4] = True
+        assert not MinCutResult(2, side, 8, "t").verify(dumbbell)
+
+    def test_verify_empty_side_invalid(self, dumbbell):
+        assert not MinCutResult(0, np.zeros(8, dtype=bool), 8, "t").verify(dumbbell)
+        assert not MinCutResult(0, np.ones(8, dtype=bool), 8, "t").verify(dumbbell)
+
+    def test_no_side_raises(self, dumbbell):
+        res = MinCutResult(1, None, 8, "t")
+        with pytest.raises(ValueError):
+            res.partition()
+        with pytest.raises(ValueError):
+            res.verify(dumbbell)
+
+    def test_repr(self):
+        r = repr(MinCutResult(3, None, 5, "x"))
+        assert "value=3" in r and "x" in r
+
+
+class TestFacade:
+    def test_default_algorithm(self, dumbbell):
+        res = minimum_cut(dumbbell, rng=0)
+        assert res.value == 1
+        assert res.algorithm == "noi-lambda-heap-viecut"
+
+    def test_unknown_algorithm(self, dumbbell):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            minimum_cut(dumbbell, algorithm="quantum")
+
+    @pytest.mark.parametrize("algo", sorted(ALGORITHMS))
+    def test_every_algorithm_runs(self, dumbbell, algo):
+        res = minimum_cut(dumbbell, algorithm=algo, rng=0)
+        assert res.value >= 1
+        if algo in EXACT_ALGORITHMS:
+            assert res.value == 1
+
+    @pytest.mark.parametrize("algo", sorted(EXACT_ALGORITHMS))
+    def test_exact_algorithms_agree_random(self, algo):
+        rng = np.random.default_rng(5)
+        g = connected_gnm(20, 45, rng=rng, weights=(1, 7))
+        expected = oracle_mincut(g)
+        assert minimum_cut(g, algorithm=algo, rng=1).value == expected
+
+    def test_kwargs_forwarded(self, dumbbell):
+        res = minimum_cut(dumbbell, algorithm="parcut", workers=2, pq_kind="bstack", rng=0)
+        assert res.value == 1
+        assert res.algorithm == "parcut-bstack"
+
+    def test_lazy_top_level_import(self):
+        import repro
+
+        assert callable(repro.minimum_cut)
+        with pytest.raises(AttributeError):
+            repro.does_not_exist  # noqa: B018
+
+    def test_quickstart_docstring_example(self):
+        from repro import GraphBuilder
+
+        g = (
+            GraphBuilder(4)
+            .add_edge(0, 1, 3)
+            .add_edge(1, 2, 1)
+            .add_edge(2, 3, 3)
+            .add_edge(3, 0, 1)
+            .build()
+        )
+        assert minimum_cut(g).value == 2

@@ -1,0 +1,109 @@
+"""Unit and property tests for the sequential union–find."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datastructures import UnionFind
+
+
+class TestBasics:
+    def test_initially_all_singletons(self):
+        uf = UnionFind(5)
+        assert uf.count == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_reduces_count(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.count == 3
+        assert uf.same(0, 1)
+        assert not uf.same(0, 2)
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind(3)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.count == 2
+
+    def test_transitivity(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.same(0, 2)
+        assert not uf.same(0, 3)
+
+    def test_zero_elements(self):
+        uf = UnionFind(0)
+        assert uf.count == 0
+        assert len(uf.labels()) == 0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_sets_grouping(self):
+        uf = UnionFind(5)
+        uf.union(0, 2)
+        uf.union(3, 4)
+        groups = sorted(sorted(m) for m in uf.sets().values())
+        assert groups == [[0, 2], [1], [3, 4]]
+
+
+class TestLabels:
+    def test_labels_dense_and_consistent(self):
+        uf = UnionFind(6)
+        uf.union(0, 3)
+        uf.union(1, 4)
+        labels = uf.labels()
+        assert set(labels) == set(range(uf.count))
+        assert labels[0] == labels[3]
+        assert labels[1] == labels[4]
+        assert labels[0] != labels[1]
+        assert labels[2] != labels[5]
+
+    def test_labels_after_chain(self):
+        uf = UnionFind(8)
+        for i in range(7):
+            uf.union(i, i + 1)
+        labels = uf.labels()
+        assert uf.count == 1
+        assert (labels == 0).all()
+
+    def test_labels_idempotent(self):
+        uf = UnionFind(5)
+        uf.union(1, 2)
+        first = uf.labels()
+        second = uf.labels()
+        assert np.array_equal(first, second)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    data=st.data(),
+)
+def test_property_matches_naive_partition(n, data):
+    """UnionFind agrees with a brute-force partition refinement."""
+    pairs = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=80,
+        )
+    )
+    uf = UnionFind(n)
+    naive = {i: {i} for i in range(n)}  # element -> its set (shared objects)
+    for x, y in pairs:
+        uf.union(x, y)
+        if naive[x] is not naive[y]:
+            merged = naive[x] | naive[y]
+            for e in merged:
+                naive[e] = merged
+    for x in range(n):
+        for y in range(x + 1, n):
+            assert uf.same(x, y) == (naive[x] is naive[y])
+    # count matches number of distinct sets
+    assert uf.count == len({id(s) for s in naive.values()})
+    # labels() encodes the same partition
+    labels = uf.labels()
+    for x, y in pairs:
+        assert labels[x] == labels[y]

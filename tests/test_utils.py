@@ -1,0 +1,121 @@
+"""Tests for timers and statistics helpers."""
+
+import math
+import time
+
+import pytest
+
+from repro.utils import (
+    RepeatTimer,
+    Timer,
+    geometric_mean,
+    performance_profile,
+    speedup,
+    summarize,
+)
+
+
+class TestTimer:
+    def test_phase_accumulates(self):
+        t = Timer()
+        with t.phase("a"):
+            time.sleep(0.001)
+        with t.phase("a"):
+            time.sleep(0.001)
+        assert t.total("a") >= 0.002
+        assert t.total("missing") == 0.0
+
+    def test_totals_snapshot(self):
+        t = Timer()
+        with t.phase("x"):
+            pass
+        snap = t.totals()
+        assert "x" in snap
+        snap["x"] = 999  # mutating the copy must not affect the timer
+        assert t.total("x") != 999
+
+    def test_nested_phases(self):
+        t = Timer()
+        with t.phase("outer"):
+            with t.phase("inner"):
+                time.sleep(0.001)
+        assert t.total("outer") >= t.total("inner")
+
+
+class TestRepeatTimer:
+    def test_mean_and_best(self):
+        rt = RepeatTimer(repetitions=3)
+        mean, result = rt.measure(lambda: 42)
+        assert result == 42
+        assert len(rt.times) == 3
+        assert rt.best <= rt.mean
+
+    def test_warmup_not_timed(self):
+        calls = []
+        rt = RepeatTimer(repetitions=2, warmup=3)
+        rt.measure(lambda: calls.append(1))
+        assert len(calls) == 5
+        assert len(rt.times) == 2
+
+    def test_unmeasured_raises(self):
+        with pytest.raises(ValueError):
+            RepeatTimer().mean
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert math.isclose(geometric_mean([2, 8]), 4.0)
+        assert math.isclose(geometric_mean([5]), 5.0)
+
+    def test_geometric_mean_errors(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s == {"min": 1.0, "mean": 2.0, "max": 3.0}
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_performance_profile_basic(self):
+        times = {"fast": [1.0, 2.0], "slow": [2.0, 2.0]}
+        profile = performance_profile(times)
+        assert profile["fast"] == [1.0, 1.0]
+        assert profile["slow"] == [0.5, 1.0]
+
+    def test_performance_profile_missing_instance(self):
+        times = {"a": [1.0, None], "b": [2.0, 3.0]}
+        profile = performance_profile(times)
+        # instance 0: a is best (1.0 vs 2.0); instance 1: a missing -> -0.1,
+        # b is the only observation -> ratio 1.0
+        assert profile["a"] == [-0.1, 1.0]
+        assert profile["b"] == [0.5, 1.0]
+
+    def test_performance_profile_shape_errors(self):
+        with pytest.raises(ValueError):
+            performance_profile({"a": [1.0], "b": [1.0, 2.0]})
+        assert performance_profile({}) == {}
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        from repro.experiments.report import format_table
+
+        out = format_table(["col", "x"], [["a", 1], ["bb", 2.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("col")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_format_csv(self):
+        from repro.experiments.report import format_csv
+
+        out = format_csv(["a", "b"], [[1, None]])
+        assert out == "a,b\n1,-\n"

@@ -1,0 +1,30 @@
+"""Tests for the Monte-Carlo solver audit module."""
+
+from repro.experiments.validation import main, run_audit
+
+
+class TestAudit:
+    def test_audit_passes(self):
+        report = run_audit(trials=8, n_max=18, seed=1)
+        assert report["passed"]
+        assert report["disagreements"] == []
+        assert report["uncertified"] == []
+        assert report["guarantee_violations"] == []
+        assert sum(report["value_histogram"].values()) == 8
+
+    def test_audit_restricted_algorithms(self):
+        report = run_audit(trials=5, n_max=14, seed=2, algorithms=("noi", "stoer-wagner"))
+        assert report["passed"]
+        assert report["algorithms"] == ["noi", "stoer-wagner"]
+
+    def test_main_exit_zero(self, capsys):
+        rc = main(["--trials", "5", "--n-max", "14", "--seed", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "PASSED" in out
+        assert "disagreements: 0" in out
+
+    def test_connected_only_mode(self):
+        report = run_audit(trials=6, n_max=14, seed=4, include_disconnected=False)
+        assert report["passed"]
+        assert 0 not in report["value_histogram"]
