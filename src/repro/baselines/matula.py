@@ -29,6 +29,8 @@ from ..core.result import MinCutResult
 from ..graph.components import connected_components
 from ..graph.contract import compose_labels, contract_by_union_find
 from ..graph.csr import Graph
+from ..runtime.faults import FaultPlan
+from ..runtime.supervisor import call_with_degradation, raise_for_events
 
 
 def matula_approx(
@@ -40,6 +42,9 @@ def matula_approx(
     compute_side: bool = True,
     workers: int = 1,
     executor: str = "serial",
+    timeout: float | None = None,
+    on_worker_failure: str = "degrade",
+    fault_plan: FaultPlan | None = None,
 ) -> MinCutResult:
     """A cut of capacity at most ``(2+eps) * λ(G)`` in near-linear time.
 
@@ -56,16 +61,27 @@ def matula_approx(
         answered affirmatively here: the frozen-bound region-growing scan
         preserves the contraction certificates, so the approximation
         guarantee carries over; only the marked-edge *set* differs.
+    timeout, on_worker_failure, fault_plan:
+        Supervised-runtime controls for the parallel path, identical in
+        meaning to :func:`~repro.core.mincut.parallel_mincut`'s: lost
+        workers are tolerated (their marks drop, the certificates of the
+        survivors still hold), a fully failed executor degrades
+        ``processes → threads → serial``, and every event lands in
+        ``stats["worker_events"]`` / ``stats["degradations"]``.
     """
     if eps <= 0:
         raise ValueError(f"eps must be positive, got {eps}")
+    if on_worker_failure not in ("degrade", "fail"):
+        raise ValueError(
+            f"on_worker_failure must be 'degrade' or 'fail', got {on_worker_failure!r}"
+        )
     n = graph.n
     if n < 2:
         raise ValueError(f"minimum cut requires at least 2 vertices, got {n}")
     if isinstance(rng, (int, np.integer)) or rng is None:
         rng = np.random.default_rng(rng)
 
-    stats: dict = {"rounds": 0, "edges_scanned": 0}
+    stats: dict = {"rounds": 0, "edges_scanned": 0, "worker_events": [], "degradations": []}
     algo = "matula"
     ncomp, comp_labels = connected_components(graph)
     if ncomp > 1:
@@ -89,15 +105,34 @@ def matula_approx(
         if workers > 1:
             from ..core.parallel_capforest import parallel_capforest
 
-            pres = parallel_capforest(
-                g,
-                threshold,
-                workers=workers,
-                pq_kind=pq_kind if threshold > 0 else "heap",
-                executor=executor,
-                rng=rng,
-                fixed_bound=True,
+            def run_pass(exe, _g=g, _threshold=threshold):
+                return parallel_capforest(
+                    _g,
+                    _threshold,
+                    workers=workers,
+                    pq_kind=pq_kind if _threshold > 0 else "heap",
+                    executor=exe,
+                    rng=rng,
+                    fixed_bound=True,
+                    timeout=timeout,
+                    fault_plan=fault_plan,
+                )
+
+            def record_degradation(src, dst, exc):
+                stats["degradations"].append(
+                    {"stage": "matula", "round": stats["rounds"], "from": src, "to": dst,
+                     "reason": str(exc)}
+                )
+
+            pres, executor = call_with_degradation(
+                run_pass, executor, policy=on_worker_failure, on_degrade=record_degradation
             )
+            if pres.events:
+                stats["worker_events"].extend(
+                    dict(ev, round=stats["rounds"]) for ev in pres.events
+                )
+                if on_worker_failure == "fail":
+                    raise_for_events(executor, pres.events)
             stats["rounds"] += 1
             stats["edges_scanned"] += sum(w.edges_scanned for w in pres.workers)
             # workers' scan cuts are real cuts — harvest the best one

@@ -10,6 +10,12 @@ Examples::
     repro-mincut graph.metis
     repro-mincut --format edgelist --algorithm parcut --workers 8 edges.txt
     repro-mincut --algorithm hao-orlin --print-side graph.metis
+    repro-mincut --algorithm parcut --executor processes --timeout 30 graph.metis
+
+Exit codes are distinct per failure mode so scripted callers can branch:
+``0`` success, ``2`` invalid input or usage, ``3`` worker/solver timeout,
+``4`` worker crash or executor loss (with ``--on-worker-failure fail``),
+``5`` solver stalled (no-progress watchdog).
 """
 
 from __future__ import annotations
@@ -20,6 +26,30 @@ import time
 
 from .core.api import ALGORITHMS, minimum_cut
 from .graph.io import read_edge_list, read_metis
+from .runtime.errors import (
+    ExecutorUnavailable,
+    NoProgressError,
+    RuntimeFault,
+    WorkerCrashed,
+    WorkerTimeout,
+)
+
+EXIT_OK = 0
+EXIT_INVALID_INPUT = 2
+EXIT_TIMEOUT = 3
+EXIT_WORKER_FAILURE = 4
+EXIT_NO_PROGRESS = 5
+
+
+def exit_code_for(exc: RuntimeFault) -> int:
+    """Map a runtime fault to the CLI's distinct nonzero exit codes."""
+    if isinstance(exc, WorkerTimeout):
+        return EXIT_TIMEOUT
+    if isinstance(exc, NoProgressError):
+        return EXIT_NO_PROGRESS
+    if isinstance(exc, ExecutorUnavailable):
+        return EXIT_TIMEOUT if exc.dominant_kind == "timeout" else EXIT_WORKER_FAILURE
+    return EXIT_WORKER_FAILURE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +80,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel executor (parcut)",
     )
     ap.add_argument("--seed", type=int, default=0, help="random seed")
+    ap.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-round deadline for parallel workers (parcut/matula); "
+        "exit code 3 on timeout with --on-worker-failure fail",
+    )
+    ap.add_argument(
+        "--on-worker-failure",
+        choices=("degrade", "fail"),
+        default=None,
+        help="degrade: tolerate lost workers and fall back "
+        "processes→threads→serial (default); fail: abort on the first "
+        "worker loss with a distinct exit code",
+    )
     ap.add_argument("--print-side", action="store_true", help="print the smaller cut side")
     ap.add_argument("--stats", action="store_true", help="print solver statistics")
     return ap
@@ -62,7 +108,7 @@ def main(argv: list[str] | None = None) -> int:
         graph = reader(args.path)
     except (OSError, ValueError) as exc:
         print(f"error reading {args.path}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_INVALID_INPUT
 
     kwargs: dict = {"rng": args.seed}
     if args.pq is not None:
@@ -71,13 +117,20 @@ def main(argv: list[str] | None = None) -> int:
         kwargs["workers"] = args.workers
     if args.executor is not None:
         kwargs["executor"] = args.executor
+    if args.timeout is not None:
+        kwargs["timeout"] = args.timeout
+    if args.on_worker_failure is not None:
+        kwargs["on_worker_failure"] = args.on_worker_failure
 
     t0 = time.perf_counter()
     try:
         result = minimum_cut(graph, algorithm=args.algorithm, **kwargs)
+    except RuntimeFault as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
     except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_INVALID_INPUT
     elapsed = time.perf_counter() - t0
 
     print(f"graph     n={graph.n} m={graph.m}")
@@ -87,10 +140,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.print_side and result.side is not None:
         small = min(result.partition(), key=len)
         print(f"side      {' '.join(map(str, small))}")
+    for event in result.stats.get("degradations") or []:
+        print(f"warning   degraded: {event}", file=sys.stderr)
     if args.stats:
         for key, value in sorted(result.stats.items()):
             print(f"stat      {key}={value}")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -17,7 +17,10 @@ Algorithm names (paper variant in brackets):
 ``"noi-viecut"``   VieCut seed + bounded NOI [NOIλ̂-Heap-VieCut] — the
                    paper's fastest sequential configuration and the default
 ``"parcut"``       Parallel system, Algorithm 2 [ParCutλ̂-BQueue]; kwargs:
-                   ``workers``, ``executor``, ``pq_kind``, ``use_viecut``
+                   ``workers``, ``executor``, ``pq_kind``, ``use_viecut``,
+                   plus the supervised-runtime controls ``timeout`` and
+                   ``on_worker_failure`` (``"degrade"``/``"fail"``) — see
+                   :mod:`repro.runtime`
 ``"viecut"``       Inexact multilevel bound (fast, usually exact, no
                    guarantee)
 ``"stoer-wagner"`` Stoer–Wagner baseline
@@ -138,7 +141,15 @@ def minimum_cut(graph: Graph, algorithm: str = "noi-viecut", **kwargs) -> MinCut
         sequentially on almost all instances.
     **kwargs:
         Forwarded to the selected solver (e.g. ``rng=...`` for
-        reproducibility, ``pq_kind=...``, ``workers=...``).
+        reproducibility, ``pq_kind=...``, ``workers=...``; for the
+        parallel solvers also ``timeout=...`` and
+        ``on_worker_failure="degrade"|"fail"``).  Solvers with parallel
+        executors never hang on worker failure: lost workers are recorded
+        in ``result.stats["worker_events"]`` and a failed executor
+        degrades ``processes → threads → serial``
+        (``stats["degradations"]``) unless ``on_worker_failure="fail"``,
+        in which case a :class:`repro.runtime.RuntimeFault` subclass is
+        raised.
 
     Returns
     -------

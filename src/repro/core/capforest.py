@@ -192,6 +192,13 @@ def capforest(
             insert(next_restart, 0)
 
         x, _ = pop()
+        if len(scan_order) >= n:
+            # every vertex is inserted at most once, so a scan popping more
+            # than n times is running on corrupt queue state — abort rather
+            # than loop (and mark) forever on garbage
+            from ..runtime.errors import NoProgressError
+
+            raise NoProgressError(f"scan popped more than {n} vertices")
         rx = r[x]
         alpha += wdeg[x] - 2 * rx
         visited[x] = 1

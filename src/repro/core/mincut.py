@@ -16,6 +16,17 @@ sequential fallback marks nothing under an externally tightened bound.
 
 The paper's variant names map to parameters as
 ``ParCutλ̂-BStack/BQueue/Heap`` ↔ ``pq_kind=...`` with ``use_viecut=True``.
+
+Failure model
+-------------
+The round loop runs under the supervised execution runtime
+(:mod:`~repro.runtime`).  Lost workers within a round are tolerated
+outright — the survivors' marks remain exact (Lemma 3.2(1)) — and an
+executor that loses *all* its workers degrades ``processes → threads →
+serial`` (sticky for the rest of the solve), with every event recorded in
+``stats["worker_events"]`` / ``stats["degradations"]``.  A round that
+fails to shrink the contracted graph raises
+:class:`~repro.runtime.NoProgressError` instead of looping forever.
 """
 
 from __future__ import annotations
@@ -26,6 +37,9 @@ from ..graph.components import connected_components
 from ..graph.contract import compose_labels
 from ..graph.csr import Graph
 from ..graph.parallel_contract import parallel_contract_by_labels
+from ..runtime.errors import NoProgressError, RuntimeFault
+from ..runtime.faults import FaultPlan
+from ..runtime.supervisor import call_with_degradation, raise_for_events
 from .capforest import capforest
 from .noi import _absorb
 from .parallel_capforest import parallel_capforest
@@ -41,6 +55,9 @@ def parallel_mincut(
     use_viecut: bool = True,
     rng: np.random.Generator | int | None = None,
     compute_side: bool = True,
+    timeout: float | None = None,
+    on_worker_failure: str = "degrade",
+    fault_plan: FaultPlan | None = None,
 ) -> MinCutResult:
     """Exact minimum cut via Algorithm 2 (ParCut).
 
@@ -56,7 +73,20 @@ def parallel_mincut(
     use_viecut:
         Seed ``λ̂`` with VieCut (Algorithm 2 line 1).  Disable to measure
         the contribution of the seed (ablation).
+    timeout:
+        Per-round deadline (seconds) for process workers; a finite backstop
+        applies even when ``None`` (:data:`repro.runtime.DEFAULT_TIMEOUT`).
+    on_worker_failure:
+        ``"degrade"`` (default) tolerates lost workers and steps a fully
+        failed executor down the ladder; ``"fail"`` raises the underlying
+        :class:`~repro.runtime.RuntimeFault` on the first worker loss.
+    fault_plan:
+        Deterministic fault injection for testing (:class:`repro.runtime.FaultPlan`).
     """
+    if on_worker_failure not in ("degrade", "fail"):
+        raise ValueError(
+            f"on_worker_failure must be 'degrade' or 'fail', got {on_worker_failure!r}"
+        )
     n = graph.n
     if n < 2:
         raise ValueError(f"minimum cut requires at least 2 vertices, got {n}")
@@ -76,6 +106,8 @@ def parallel_mincut(
         "pq_skipped_updates": 0,
         "pq_pops": 0,
         "viecut_value": None,
+        "worker_events": [],
+        "degradations": [],
     }
     algo = f"parcut-{pq_kind}" + ("" if use_viecut else "-noseed")
 
@@ -96,7 +128,16 @@ def parallel_mincut(
 
         # Algorithm 2 line 1 — the paper runs VieCut with all threads
         vc_workers = workers if executor in ("threads", "processes") else 1
-        seed = viecut(graph, rng=rng, workers=vc_workers)
+        try:
+            seed = viecut(graph, rng=rng, workers=vc_workers)
+        except RuntimeFault as exc:
+            if on_worker_failure == "fail":
+                raise
+            stats["degradations"].append(
+                {"stage": "viecut", "from_workers": vc_workers, "to_workers": 1,
+                 "reason": str(exc)}
+            )
+            seed = viecut(graph, rng=rng, workers=1)
         stats["viecut_value"] = seed.value
         if seed.value < best_value:
             best_value = seed.value
@@ -107,10 +148,33 @@ def parallel_mincut(
     labels = np.arange(n, dtype=np.int64)
     g = graph
 
+    active_executor = executor
     while g.n > 2 and lam > 0:
-        pres = parallel_capforest(
-            g, lam, workers=workers, pq_kind=pq_kind, executor=executor, rng=rng
+        round_n = g.n
+
+        def run_pass(exe, _g=g, _lam=lam):
+            return parallel_capforest(
+                _g, _lam, workers=workers, pq_kind=pq_kind, executor=exe, rng=rng,
+                timeout=timeout, fault_plan=fault_plan,
+            )
+
+        def record_degradation(src, dst, exc):
+            stats["degradations"].append(
+                {"stage": "capforest", "round": stats["rounds"], "from": src, "to": dst,
+                 "reason": str(exc)}
+            )
+
+        # degradation is sticky: once an executor has lost every worker we
+        # stay on the simpler one rather than re-paying the failure per round
+        pres, active_executor = call_with_degradation(
+            run_pass, active_executor, policy=on_worker_failure, on_degrade=record_degradation
         )
+        if pres.events:
+            stats["worker_events"].extend(
+                dict(ev, round=stats["rounds"]) for ev in pres.events
+            )
+            if on_worker_failure == "fail":
+                raise_for_events(active_executor, pres.events)
         stats["rounds"] += 1
         stats["total_work"] += pres.total_work
         stats["makespan_work"] += pres.makespan_work
@@ -161,6 +225,13 @@ def parallel_mincut(
         block_labels = uf.labels()
         g, contraction = parallel_contract_by_labels(g, block_labels, workers=workers)
         labels = compose_labels(labels, contraction)
+        if g.n >= round_n:
+            # watchdog: the SW-phase fallback guarantees >= 1 union per
+            # round, so a non-shrinking round means corrupt state — abort
+            # rather than loop forever
+            raise NoProgressError(
+                f"contraction round {stats['rounds']} left the graph at {g.n} vertices"
+            )
         if g.n < 2:
             break
         v, d = g.min_weighted_degree()
@@ -170,6 +241,7 @@ def parallel_mincut(
                 best_side = labels == v
         lam = min(lam, d)
 
+    stats["final_executor"] = active_executor
     if stats["makespan_work"] > 0:
         stats["modeled_speedup"] = stats["total_work"] / stats["makespan_work"]
     return MinCutResult(best_value, best_side if compute_side else None, n, algo, stats)

@@ -33,6 +33,15 @@ Executors
     ``fork``-based workers.  ``T`` lives in a ``multiprocessing.RawArray``;
     ``λ̂`` in a ``Value``; marked pairs return through a queue.  True
     parallelism for wall-clock scaling experiments.
+
+All three executors run under the supervised execution runtime
+(:mod:`~repro.runtime`): the process executor collects results through a
+bounded supervisor (crashed, wedged, or silent workers become structured
+events instead of a hung coordinator), thread workers have their uncaught
+exceptions captured, and a deterministic :class:`~repro.runtime.FaultPlan`
+can be injected on any executor for testing.  Losing a worker only drops
+its contraction marks, which Lemma 3.2(1) shows is always safe — the
+survivors' merged result stays exact.
 """
 
 from __future__ import annotations
@@ -45,6 +54,9 @@ import numpy as np
 from ..datastructures.pq import PQStats, make_pq
 from ..datastructures.union_find import UnionFind
 from ..graph.csr import Graph
+from ..runtime.errors import ExecutorUnavailable, NoProgressError, WorkerCrashed
+from ..runtime.faults import FaultClock, FaultPlan
+from ..runtime.supervisor import supervise_processes, worker_event
 from .capforest import MAX_BUCKET_BOUND
 
 EXECUTORS = ("serial", "threads", "processes")
@@ -80,6 +92,9 @@ class ParallelCapforestResult:
     #: side mask of the best scan cut found by any worker (None if no worker
     #: improved the input bound)
     best_side: np.ndarray | None
+    #: structured worker-failure events recorded by the supervisor (empty
+    #: when every worker completed cleanly); see :func:`repro.runtime.worker_event`
+    events: list[dict] = field(default_factory=list)
 
     @property
     def total_work(self) -> int:
@@ -155,8 +170,16 @@ def _region_worker_with_prefix(
     pop = pq.pop_max
 
     insert(start, 0)
+    pops = 0
     while len(pq):
         x, _ = pop()
+        pops += 1
+        if pops > n:
+            # each vertex enters this worker's queue at most once, so a
+            # scan that pops more than n times is running on corrupt state
+            raise NoProgressError(
+                f"worker {report.worker_id} popped {pops} vertices from a {n}-vertex graph"
+            )
         if T[x]:
             blacklist[x] = 1
             report.blacklisted += 1
@@ -198,6 +221,8 @@ def parallel_capforest(
     executor: str = "serial",
     rng: np.random.Generator | int | None = None,
     fixed_bound: bool = False,
+    timeout: float | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ParallelCapforestResult:
     """One parallel CAPFOREST pass over ``graph`` with bound ``λ̂``.
 
@@ -210,6 +235,14 @@ def parallel_capforest(
     value (workers still report their scan cuts) — the configuration the
     parallel Matula approximation needs, where ``λ̂`` is deliberately below
     the true minimum cut and must not be "tightened" by real cuts.
+
+    ``timeout`` bounds the whole pass for the process executor (a finite
+    backstop applies even when ``None`` — see
+    :data:`repro.runtime.DEFAULT_TIMEOUT`); ``fault_plan`` injects
+    deterministic worker failures for testing.  Lost workers' marks are
+    dropped (safe, Lemma 3.2(1)) and recorded in ``result.events``; if no
+    worker survives, :class:`~repro.runtime.ExecutorUnavailable` is raised
+    so callers can degrade to a simpler executor.
     """
     if lambda_hat < 0:
         raise ValueError(f"lambda_hat must be non-negative, got {lambda_hat}")
@@ -234,14 +267,14 @@ def parallel_capforest(
     )
 
     if executor == "processes":
-        return _run_processes(graph_arrays, lambda_hat, starts, pq_kind, fixed_bound)
+        return _run_processes(graph_arrays, lambda_hat, starts, pq_kind, fixed_bound,
+                              timeout=timeout, fault_plan=fault_plan)
 
     T = bytearray(n)
     lam_box = _FrozenBound(lambda_hat) if fixed_bound else _SharedBound(lambda_hat)
     if executor == "serial":
         uf = UnionFind(n)
         union = uf.union
-        pairs: list = []
     else:
         from ..datastructures.concurrent_union_find import LockStripedUnionFind
 
@@ -253,34 +286,74 @@ def parallel_capforest(
         for i, s in enumerate(starts)
     ]
     reports = [rep for _, rep in gens_reports]
+    events: list[dict] = []
 
     if executor == "serial":
-        live = [gen for gen, _ in gens_reports]
+        live = [(i, gen) for i, (gen, _) in enumerate(gens_reports)]
+        clocks = {i: FaultClock(fault_plan.for_worker(i, "serial") if fault_plan else None)
+                  for i, _ in live}
         while live:
             nxt = []
-            for gen in live:
+            for i, gen in live:
+                fault = clocks[i].tick()
+                if fault is not None and fault.kind == "crash":
+                    # abandon this worker's scan; marks so far stay (safe)
+                    events.append(worker_event(i, "crashed", detail="injected"))
+                    continue
                 try:
                     next(gen)
-                    nxt.append(gen)
+                    nxt.append((i, gen))
                 except StopIteration:
-                    pass
+                    clock = clocks[i]
+                    if clock.fault is not None and clock.fault.kind == "crash" and not clock.fired:
+                        # scan ended before the pop trigger: fire anyway
+                        # (the completed scan's marks stay — still safe)
+                        events.append(worker_event(i, "crashed", detail="injected"))
             live = nxt
     else:
         threads = [
-            threading.Thread(target=_drain, args=(gen,), daemon=True) for gen, _ in gens_reports
+            threading.Thread(
+                target=_drain,
+                args=(gen, i, fault_plan, events),
+                daemon=True,
+            )
+            for i, (gen, _) in enumerate(gens_reports)
         ]
         for t in threads:
             t.start()
         for t in threads:
             t.join()
         uf = striped.to_sequential()
+        if len(events) == len(threads) and threads:
+            raise ExecutorUnavailable("threads", "every thread worker crashed", events)
 
-    return _finalize(uf, lambda_hat, lam_box.value, reports, n)
+    if executor == "serial" and events and len(events) == len(gens_reports):
+        raise ExecutorUnavailable("serial", "every worker crashed", events)
+    res = _finalize(uf, lambda_hat, lam_box.value, reports, n)
+    res.events = events
+    return res
 
 
-def _drain(gen) -> None:
-    for _ in gen:
-        pass
+def _drain(gen, worker_id: int, fault_plan: FaultPlan | None, events: list) -> None:
+    """Exhaust one thread worker, capturing crashes as structured events.
+
+    Appends to ``events`` instead of raising: a dead thread's marks are
+    already in the shared union–find and remain safe (Lemma 3.2(1)), so
+    the coordinator keeps the survivors and records the loss.  ``events``
+    appends are atomic under the GIL.
+    """
+    clock = FaultClock(fault_plan.for_worker(worker_id, "threads") if fault_plan else None)
+    try:
+        for _ in gen:
+            fault = clock.tick()
+            if fault is not None and fault.kind == "crash":
+                raise WorkerCrashed(worker_id, detail="injected")
+        if clock.fault is not None and clock.fault.kind == "crash" and not clock.fired:
+            # fire even if the scan ended before the pop trigger (see
+            # _process_worker) so injected faults stay deterministic
+            raise WorkerCrashed(worker_id, detail="injected")
+    except Exception as exc:  # noqa: BLE001 - any worker death must be observable
+        events.append(worker_event(worker_id, "crashed", detail=str(exc)))
 
 
 def _finalize(
@@ -306,8 +379,18 @@ def _finalize(
 
 
 def _run_processes(
-    graph_arrays, lambda_hat, starts, pq_kind, fixed_bound=False
+    graph_arrays, lambda_hat, starts, pq_kind, fixed_bound=False,
+    *, timeout: float | None = None, fault_plan: FaultPlan | None = None,
 ) -> ParallelCapforestResult:
+    """Fork-based executor, supervised: never blocks indefinitely.
+
+    Results are collected through :func:`repro.runtime.supervise_processes`
+    — bounded ``get`` with per-worker exit-code checks — so a crashed,
+    wedged, silent, or corrupt worker becomes a structured event and the
+    survivors' marks are merged (safe by Lemma 3.2(1)).  With zero
+    survivors, :class:`~repro.runtime.ExecutorUnavailable` is raised for
+    the caller's degradation ladder.
+    """
     import multiprocessing as mp
 
     ctx = mp.get_context("fork")
@@ -315,13 +398,14 @@ def _run_processes(
     T = ctx.RawArray("B", n)  # zero-initialised shared visited table
     lam_val = ctx.Value("q", lambda_hat, lock=False)
     lam_lock = ctx.Lock()
-    out: mp.SimpleQueue = ctx.SimpleQueue()
+    out = ctx.Queue()  # Queue (not SimpleQueue): its get() supports a timeout
 
     procs = [
         ctx.Process(
             target=_process_worker,
             args=(
                 graph_arrays, i, s, pq_kind, lambda_hat, T, lam_val, lam_lock, out, fixed_bound,
+                fault_plan.for_worker(i, "processes") if fault_plan else None,
             ),
             daemon=True,
         )
@@ -329,14 +413,15 @@ def _run_processes(
     ]
     for pr in procs:
         pr.start()
-    results = [out.get() for _ in procs]
-    for pr in procs:
-        pr.join()
+    outcome = supervise_processes(procs, out, n=n, timeout=timeout)
+    if outcome.all_lost:
+        raise ExecutorUnavailable("processes", "no worker reported a result", outcome.events)
 
     uf = UnionFind(n)
     reports: list[WorkerReport] = []
     lam_out = lambda_hat
-    for worker_id, pairs, rep_dict in sorted(results):
+    for worker_id in sorted(outcome.results):
+        _, pairs, rep_dict = outcome.results[worker_id]
         for u, v in pairs:
             uf.union(u, v)
         rep = WorkerReport(
@@ -352,7 +437,9 @@ def _run_processes(
         reports.append(rep)
         if not fixed_bound and rep.best_alpha is not None and rep.best_alpha < lam_out:
             lam_out = rep.best_alpha
-    return _finalize(uf, lambda_hat, lam_out, reports, n)
+    res = _finalize(uf, lambda_hat, lam_out, reports, n)
+    res.events = outcome.events
+    return res
 
 
 class _ProcessBound:
@@ -376,8 +463,12 @@ class _ProcessBound:
 
 
 def _process_worker(
-    graph_arrays, worker_id, start, pq_kind, bound, T, lam_val, lam_lock, out, fixed_bound=False
+    graph_arrays, worker_id, start, pq_kind, bound, T, lam_val, lam_lock, out, fixed_bound=False,
+    fault=None,
 ) -> None:  # pragma: no cover - exercised via subprocesses
+    import os
+    import time as _time
+
     pairs: list[tuple[int, int]] = []
     report = WorkerReport(worker_id=worker_id, start_vertex=start)
     lam_box = _FrozenBound(bound) if fixed_bound else _ProcessBound(lam_val, lam_lock)
@@ -395,8 +486,28 @@ def _process_worker(
         bound,
         report,
     )
+    clock = FaultClock(fault)
     for _ in gen:
-        pass
+        f = clock.tick()
+        if f is None:
+            continue
+        if f.kind == "crash":
+            os._exit(f.exit_code)  # hard kill: no result, nonzero exit
+        if f.kind in ("hang", "delay"):
+            _time.sleep(f.sleep_seconds)
+    if fault is not None and not clock.fired:
+        # a worker that finished before its pop trigger (another worker
+        # claimed its region first) still fails as scripted — injected
+        # faults must be deterministic, not scheduling-dependent
+        if fault.kind == "crash":
+            os._exit(fault.exit_code)
+        if fault.kind in ("hang", "delay"):
+            _time.sleep(fault.sleep_seconds)
+    if fault is not None and fault.kind == "drop_result":
+        return  # clean exit, result silently lost
+    if fault is not None and fault.kind == "corrupt_pairs":
+        n = graph_arrays[4]
+        pairs = [(n + 1, n + 2)]  # out of range: supervisor must reject
     out.put(
         (
             worker_id,

@@ -22,7 +22,13 @@ from .properties import (
 )
 from .io import read_edge_list, read_metis, write_edge_list, write_metis
 from .kcore import core_numbers, degeneracy, k_core, k_core_largest_component
-from .validate import GraphInvariantError, check_graph, is_valid
+from .validate import (
+    GraphInvariantError,
+    GraphValidationError,
+    check_graph,
+    is_valid,
+    validate_loaded_graph,
+)
 
 __all__ = [
     "Graph",
@@ -56,6 +62,8 @@ __all__ = [
     "k_core",
     "k_core_largest_component",
     "GraphInvariantError",
+    "GraphValidationError",
     "check_graph",
     "is_valid",
+    "validate_loaded_graph",
 ]

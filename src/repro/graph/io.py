@@ -8,6 +8,14 @@ edge-weight bit (``1``/``001``) set.  Comment lines start with ``%``.
 The edge-list format is one ``u v [w]`` triple per line (0-indexed), with
 ``#`` comments — convenient for quick interchange and for feeding instances
 generated elsewhere.
+
+Both readers are wired into the validation layer
+(:mod:`~repro.graph.validate`): parse-level problems (bad tokens, endpoints
+out of range, non-positive weights) raise
+:class:`~repro.graph.validate.GraphValidationError` naming the file and
+line, and every successfully parsed graph is checked against the CSR
+structural invariants before it is returned — malformed inputs fail at the
+boundary, not as index errors inside a solver.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ import numpy as np
 
 from .builder import from_edges
 from .csr import Graph
+from .validate import GraphValidationError, validate_loaded_graph
 
 
 def write_metis(graph: Graph, path: str | Path) -> None:
@@ -43,21 +52,32 @@ def read_metis(path: str | Path) -> Graph:
 
     Supports fmt codes ``0``/``00``/``000`` (unweighted) and ``1``/``001``
     (edge weights).  Vertex weights (``01x``/``1xx``) are rejected — the
-    minimum-cut problem has no use for them here.
+    minimum-cut problem has no use for them here.  Malformed files raise
+    :class:`~repro.graph.validate.GraphValidationError` with line context.
     """
     with open(path) as fh:
-        return _read_metis_stream(fh)
+        return validate_loaded_graph(_read_metis_stream(fh, path=path), path=path)
 
 
-def _read_metis_stream(fh: io.TextIOBase) -> Graph:
+def _parse_int(tok: str, what: str, path, lineno: int) -> int:
+    try:
+        return int(tok)
+    except ValueError:
+        raise GraphValidationError(
+            f"{what}: expected an integer, got {tok!r}", path=path, line=lineno
+        ) from None
+
+
+def _read_metis_stream(fh: io.TextIOBase, path: str | Path | None = None) -> Graph:
     header: list[str] | None = None
     us: list[int] = []
     vs: list[int] = []
     ws: list[int] = []
     vertex = 0
     n = m = 0
+    lineno = 0
     edge_weighted = False
-    for raw in fh:
+    for lineno, raw in enumerate(fh, 1):
         line = raw.strip()
         if line.startswith("%"):
             continue
@@ -66,13 +86,22 @@ def _read_metis_stream(fh: io.TextIOBase) -> Graph:
                 continue  # blank lines before the header are ignorable
             header = line.split()
             if len(header) < 2:
-                raise ValueError("METIS header must contain n and m")
-            n, m = int(header[0]), int(header[1])
+                raise GraphValidationError(
+                    "METIS header must contain n and m", path=path, line=lineno
+                )
+            n = _parse_int(header[0], "header n", path, lineno)
+            m = _parse_int(header[1], "header m", path, lineno)
+            if n < 0 or m < 0:
+                raise GraphValidationError(
+                    f"header declares negative sizes n={n} m={m}", path=path, line=lineno
+                )
             if len(header) >= 3:
                 fmt = header[2]
                 stripped = fmt.lstrip("0")
                 if stripped not in ("", "1"):
-                    raise ValueError(f"unsupported METIS fmt {fmt!r} (vertex weights)")
+                    raise GraphValidationError(
+                        f"unsupported METIS fmt {fmt!r} (vertex weights)", path=path, line=lineno
+                    )
                 edge_weighted = stripped == "1"
             continue
         if not line:
@@ -82,31 +111,63 @@ def _read_metis_stream(fh: io.TextIOBase) -> Graph:
                 vertex += 1
             continue
         tokens = line.split()
+        if vertex >= n:
+            raise GraphValidationError(
+                f"adjacency data for vertex {vertex + 1} beyond declared n={n}",
+                path=path,
+                line=lineno,
+            )
         if edge_weighted:
             if len(tokens) % 2:
-                raise ValueError(f"vertex {vertex}: odd token count in weighted adjacency")
+                raise GraphValidationError(
+                    f"vertex {vertex + 1}: odd token count in weighted adjacency",
+                    path=path,
+                    line=lineno,
+                )
             for i in range(0, len(tokens), 2):
-                u = int(tokens[i]) - 1
-                w = int(tokens[i + 1])
+                u = _parse_int(tokens[i], f"vertex {vertex + 1} neighbour", path, lineno) - 1
+                w = _parse_int(tokens[i + 1], f"vertex {vertex + 1} edge weight", path, lineno)
+                if not (0 <= u < n):
+                    raise GraphValidationError(
+                        f"vertex {vertex + 1}: neighbour {u + 1} out of range 1..{n}",
+                        path=path,
+                        line=lineno,
+                    )
+                if w <= 0:
+                    raise GraphValidationError(
+                        f"vertex {vertex + 1}: non-positive edge weight {w}",
+                        path=path,
+                        line=lineno,
+                    )
                 if u > vertex:  # each undirected edge appears twice; keep one
                     us.append(vertex)
                     vs.append(u)
                     ws.append(w)
         else:
             for tok in tokens:
-                u = int(tok) - 1
+                u = _parse_int(tok, f"vertex {vertex + 1} neighbour", path, lineno) - 1
+                if not (0 <= u < n):
+                    raise GraphValidationError(
+                        f"vertex {vertex + 1}: neighbour {u + 1} out of range 1..{n}",
+                        path=path,
+                        line=lineno,
+                    )
                 if u > vertex:
                     us.append(vertex)
                     vs.append(u)
                     ws.append(1)
         vertex += 1
     if header is None:
-        raise ValueError("empty METIS file")
+        raise GraphValidationError("empty METIS file", path=path)
     if vertex != n:
-        raise ValueError(f"METIS header declares {n} vertices, file has {vertex}")
+        raise GraphValidationError(
+            f"METIS header declares {n} vertices, file has {vertex}", path=path, line=lineno
+        )
     g = from_edges(n, us, vs, ws)
     if g.m != m:
-        raise ValueError(f"METIS header declares {m} edges, file has {g.m}")
+        raise GraphValidationError(
+            f"METIS header declares {m} edges, file has {g.m}", path=path
+        )
     return g
 
 
@@ -129,7 +190,7 @@ def read_edge_list(path: str | Path, n: int | None = None) -> Graph:
     vs: list[int] = []
     ws: list[int] = []
     with open(path) as fh:
-        for raw in fh:
+        for lineno, raw in enumerate(fh, 1):
             line = raw.strip()
             if not line:
                 continue
@@ -141,9 +202,30 @@ def read_edge_list(path: str | Path, n: int | None = None) -> Graph:
                         pass
                 continue
             tokens = line.split()
-            us.append(int(tokens[0]))
-            vs.append(int(tokens[1]))
-            ws.append(int(tokens[2]) if len(tokens) > 2 else 1)
+            if len(tokens) < 2:
+                raise GraphValidationError(
+                    f"expected 'u v [w]', got {line!r}", path=path, line=lineno
+                )
+            u = _parse_int(tokens[0], "endpoint u", path, lineno)
+            v = _parse_int(tokens[1], "endpoint v", path, lineno)
+            w = _parse_int(tokens[2], "weight", path, lineno) if len(tokens) > 2 else 1
+            if u < 0 or v < 0:
+                raise GraphValidationError(
+                    f"negative endpoint in edge ({u}, {v})", path=path, line=lineno
+                )
+            if w <= 0:
+                raise GraphValidationError(
+                    f"non-positive weight {w} on edge ({u}, {v})", path=path, line=lineno
+                )
+            us.append(u)
+            vs.append(v)
+            ws.append(w)
+    mx = max(max(us, default=-1), max(vs, default=-1))
     if n is None:
-        n = max(max(us, default=-1), max(vs, default=-1)) + 1
-    return from_edges(n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64), np.array(ws, dtype=np.int64))
+        n = mx + 1
+    elif mx >= n:
+        raise GraphValidationError(f"endpoint {mx} out of range for n={n}", path=path)
+    ge = from_edges(
+        n, np.array(us, dtype=np.int64), np.array(vs, dtype=np.int64), np.array(ws, dtype=np.int64)
+    )
+    return validate_loaded_graph(ge, path=path)

@@ -53,15 +53,18 @@ def parallel_contract_by_labels(
     partials: list[tuple[np.ndarray, np.ndarray] | None] = [None] * workers
 
     def aggregate_chunk(i: int) -> None:
-        lo, hi = bounds[i], bounds[i + 1]
-        s, d, w = src[lo:hi], dst[lo:hi], wgt[lo:hi]
-        keep = s != d
-        keys = s[keep] * np.int64(nc) + d[keep]
-        w = w[keep]
-        uniq, inv = np.unique(keys, return_inverse=True)
-        sums = np.zeros(len(uniq), dtype=np.int64)
-        np.add.at(sums, inv, w)
-        partials[i] = (uniq, sums)
+        try:
+            lo, hi = bounds[i], bounds[i + 1]
+            s, d, w = src[lo:hi], dst[lo:hi], wgt[lo:hi]
+            keep = s != d
+            keys = s[keep] * np.int64(nc) + d[keep]
+            w = w[keep]
+            uniq, inv = np.unique(keys, return_inverse=True)
+            sums = np.zeros(len(uniq), dtype=np.int64)
+            np.add.at(sums, inv, w)
+            partials[i] = (uniq, sums)
+        except Exception:  # noqa: BLE001 - handled by the sequential fallback
+            partials[i] = None
 
     threads = [threading.Thread(target=aggregate_chunk, args=(i,)) for i in range(workers)]
     for t in threads:
@@ -69,8 +72,15 @@ def parallel_contract_by_labels(
     for t in threads:
         t.join()
 
-    all_keys = np.concatenate([p[0] for p in partials if p is not None])
-    all_sums = np.concatenate([p[1] for p in partials if p is not None])
+    if any(p is None for p in partials):
+        # unlike CAPFOREST marks, contraction chunks are NOT droppable — a
+        # missing chunk's weights would silently corrupt the contracted
+        # graph — so any lost chunk degrades the whole call to the
+        # (always-correct) sequential path
+        return contract_by_labels(graph, labels)
+
+    all_keys = np.concatenate([p[0] for p in partials])
+    all_sums = np.concatenate([p[1] for p in partials])
     uniq, inv = np.unique(all_keys, return_inverse=True)
     agg = np.zeros(len(uniq), dtype=np.int64)
     np.add.at(agg, inv, all_sums)

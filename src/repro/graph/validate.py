@@ -24,6 +24,43 @@ class GraphInvariantError(AssertionError):
     """Raised by :func:`check_graph` when an invariant is violated."""
 
 
+class GraphValidationError(ValueError):
+    """A graph *file* failed validation — parse error or broken invariant.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` callers
+    keep working, but carries structured context (``path``, ``line``,
+    ``detail``) so CLI users and scripted callers see *where* the input is
+    malformed instead of a downstream index error.
+    """
+
+    def __init__(self, detail: str, *, path=None, line: int | None = None) -> None:
+        self.detail = detail
+        self.path = str(path) if path is not None else None
+        self.line = line
+        loc = ""
+        if self.path is not None:
+            loc = self.path
+        if line is not None:
+            loc += f":{line}"
+        super().__init__(f"{loc}: {detail}" if loc else detail)
+
+
+def validate_loaded_graph(graph: Graph, *, path=None) -> Graph:
+    """Run :func:`check_graph` on a freshly parsed file, rewrapping failures.
+
+    The readers in :mod:`~repro.graph.io` and :mod:`~repro.graph.dimacs`
+    call this so an input file that parses but encodes a structurally
+    invalid graph (asymmetric arcs, non-positive weights, …) surfaces as a
+    :class:`GraphValidationError` naming the file, not as an index error
+    deep inside a solver.
+    """
+    try:
+        check_graph(graph)
+    except GraphInvariantError as exc:
+        raise GraphValidationError(str(exc), path=path) from exc
+    return graph
+
+
 def check_graph(graph: Graph, *, require_sorted: bool = False) -> None:
     """Raise :class:`GraphInvariantError` on the first violated invariant.
 

@@ -206,11 +206,33 @@ def propagate_labels_parallel(
         p = min(workers, max(1, n))
         chunk_size = (n + p - 1) // p
         chunks = [order[i : i + chunk_size] for i in range(0, n, chunk_size)]
-        threads = [threading.Thread(target=work, args=(c,)) for c in chunks]
+        failures: list[tuple[int, Exception]] = []
+
+        def guarded(idx: int, chunk: list[int]) -> None:
+            try:
+                work(chunk)
+            except Exception as exc:  # noqa: BLE001 - worker death must surface
+                failures.append((idx, exc))
+
+        threads = [
+            threading.Thread(target=guarded, args=(i, c)) for i, c in enumerate(chunks)
+        ]
         for t in threads:
             t.start()
         for t in threads:
             t.join()
+        if failures:
+            # a dead chunk worker means this round's labels are only
+            # partially propagated — surface it so callers can degrade to
+            # the sequential engine instead of silently clustering worse
+            from ..runtime.errors import ExecutorUnavailable
+            from ..runtime.supervisor import worker_event
+
+            raise ExecutorUnavailable(
+                "threads",
+                "label-propagation chunk worker died",
+                [worker_event(i, "crashed", detail=str(e)) for i, e in failures],
+            )
     return np.array(labels, dtype=np.int64)
 
 

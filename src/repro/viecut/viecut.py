@@ -22,6 +22,7 @@ from ..graph.components import connected_components
 from ..graph.contract import compose_labels, contract_by_labels, contract_by_union_find
 from ..graph.csr import Graph
 from ..core.result import MinCutResult
+from ..runtime.errors import RuntimeFault
 from .label_propagation import cluster_labels
 from .padberg_rinaldi import padberg_rinaldi_marks
 
@@ -94,10 +95,23 @@ def viecut(
     for _ in range(max_rounds):
         if g.n <= small_threshold:
             break
-        # level: label propagation clustering + contraction
-        clusters = cluster_labels(
-            g, iterations=lp_iterations, rng=rng, workers=workers, method=lp_method
-        )
+        # level: label propagation clustering + contraction.  A parallel LP
+        # whose chunk workers die degrades (stickily) to the sequential
+        # engine — clustering is a heuristic, so swapping engines never
+        # affects the upper-bound contract, only speed.
+        try:
+            clusters = cluster_labels(
+                g, iterations=lp_iterations, rng=rng, workers=workers, method=lp_method
+            )
+        except RuntimeFault as exc:
+            stats["lp_degradations"] = stats.get("lp_degradations", 0) + 1
+            stats["lp_degradation_reason"] = str(exc)
+            workers = 1
+            if lp_method == "parallel":
+                lp_method = "sync"
+            clusters = cluster_labels(
+                g, iterations=lp_iterations, rng=rng, workers=1, method=lp_method
+            )
         if int(clusters.max()) + 1 == g.n:
             break  # no cluster merged anything; LP has stalled
         g, lbl = contract_by_labels(g, clusters)

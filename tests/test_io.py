@@ -4,7 +4,9 @@ import pytest
 
 from repro.generators import gnm
 from repro.graph import (
+    GraphValidationError,
     from_edges,
+    read_dimacs,
     read_edge_list,
     read_metis,
     write_edge_list,
@@ -89,3 +91,63 @@ class TestEdgeList:
         path.write_text("0 1 4\n")
         g = read_edge_list(path, n=10)
         assert g.n == 10
+
+
+class TestValidationErrors:
+    """Malformed inputs fail at the boundary, naming the file and line."""
+
+    def test_metis_bad_token_names_line(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("3 2\n2 x\n1 3\n2\n")
+        with pytest.raises(GraphValidationError) as ei:
+            read_metis(path)
+        assert ei.value.line == 2
+        assert str(path) in str(ei.value) and ":2:" in str(ei.value)
+
+    def test_metis_neighbour_out_of_range(self, tmp_path):
+        path = tmp_path / "oob.graph"
+        path.write_text("2 1\n2\n9\n")
+        with pytest.raises(GraphValidationError) as ei:
+            read_metis(path)
+        assert ei.value.line == 3
+
+    def test_metis_is_a_value_error(self, tmp_path):
+        # backward compatibility: callers catching ValueError still work
+        path = tmp_path / "bad.graph"
+        path.write_text("not a header\n")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_edge_list_negative_weight(self, tmp_path):
+        path = tmp_path / "neg.txt"
+        path.write_text("0 1 2\n1 2 -3\n")
+        with pytest.raises(GraphValidationError) as ei:
+            read_edge_list(path)
+        assert ei.value.line == 2
+
+    def test_edge_list_short_line(self, tmp_path):
+        path = tmp_path / "short.txt"
+        path.write_text("0 1\n7\n")
+        with pytest.raises(GraphValidationError) as ei:
+            read_edge_list(path)
+        assert ei.value.line == 2
+
+    def test_edge_list_endpoint_beyond_explicit_n(self, tmp_path):
+        path = tmp_path / "big.txt"
+        path.write_text("0 5\n")
+        with pytest.raises(GraphValidationError):
+            read_edge_list(path, n=3)
+
+    def test_dimacs_edge_before_problem_line(self, tmp_path):
+        path = tmp_path / "bad.dimacs"
+        path.write_text("c comment\na 1 2 3\n")
+        with pytest.raises(GraphValidationError) as ei:
+            read_dimacs(path)
+        assert ei.value.line == 2
+
+    def test_dimacs_nonpositive_weight(self, tmp_path):
+        path = tmp_path / "w.dimacs"
+        path.write_text("p cut 3 2\na 1 2 0\n")
+        with pytest.raises(GraphValidationError) as ei:
+            read_dimacs(path)
+        assert ei.value.line == 2
