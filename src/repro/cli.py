@@ -72,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ap.add_argument("--pq", choices=("bstack", "bqueue", "heap"), default=None,
                     help="priority queue for noi/parcut variants")
+    ap.add_argument("--kernel", choices=("scalar", "vector"), default=None,
+                    help="CAPFOREST relaxation kernel for noi/parcut variants "
+                    "(identical results; vector batches relaxations via numpy)")
     ap.add_argument("--workers", type=int, default=None, help="parallel workers (parcut)")
     ap.add_argument(
         "--executor",
@@ -113,6 +116,8 @@ def main(argv: list[str] | None = None) -> int:
     kwargs: dict = {"rng": args.seed}
     if args.pq is not None:
         kwargs["pq_kind"] = args.pq
+    if args.kernel is not None:
+        kwargs["kernel"] = args.kernel
     if args.workers is not None:
         kwargs["workers"] = args.workers
     if args.executor is not None:

@@ -1,7 +1,7 @@
 """The paper's contribution: CAPFOREST engineering, NOI driver, ParCut."""
 
 from .api import ALGORITHMS, EXACT_ALGORITHMS, minimum_cut
-from .capforest import CapforestResult, capforest
+from .capforest import KERNELS, CapforestResult, capforest
 from .certificates import certificate_summary, sparse_certificate
 from .connectivity import (
     edge_connectivity,
@@ -23,6 +23,7 @@ __all__ = [
     "ALGORITHMS",
     "EXACT_ALGORITHMS",
     "minimum_cut",
+    "KERNELS",
     "CapforestResult",
     "capforest",
     "certificate_summary",

@@ -12,13 +12,14 @@ Algorithm names (paper variant in brackets):
 
 =================  ==========================================================
 ``"noi"``          NOI with bounded heap queue [NOIλ̂-Heap]; kwargs:
-                   ``pq_kind``, ``bounded``, ``initial_bound``
+                   ``pq_kind``, ``bounded``, ``initial_bound``, ``kernel``
 ``"noi-hnss"``     NOI, unbounded heap [NOI-HNSS baseline]
 ``"noi-viecut"``   VieCut seed + bounded NOI [NOIλ̂-Heap-VieCut] — the
                    paper's fastest sequential configuration and the default
 ``"parcut"``       Parallel system, Algorithm 2 [ParCutλ̂-BQueue]; kwargs:
-                   ``workers``, ``executor``, ``pq_kind``, ``use_viecut``,
-                   plus the supervised-runtime controls ``timeout`` and
+                   ``workers``, ``executor``, ``pq_kind``, ``kernel``,
+                   ``use_viecut``, ``start_method``, plus the
+                   supervised-runtime controls ``timeout`` and
                    ``on_worker_failure`` (``"degrade"``/``"fail"``) — see
                    :mod:`repro.runtime`
 ``"viecut"``       Inexact multilevel bound (fast, usually exact, no
@@ -141,7 +142,10 @@ def minimum_cut(graph: Graph, algorithm: str = "noi-viecut", **kwargs) -> MinCut
         sequentially on almost all instances.
     **kwargs:
         Forwarded to the selected solver (e.g. ``rng=...`` for
-        reproducibility, ``pq_kind=...``, ``workers=...``; for the
+        reproducibility, ``pq_kind=...``, ``workers=...``;
+        ``kernel="scalar"|"vector"`` selects the CAPFOREST relaxation
+        kernel for the NOI/ParCut solvers — identical results, the vector
+        kernel batches arc relaxations through numpy; for the
         parallel solvers also ``timeout=...`` and
         ``on_worker_failure="degrade"|"fail"``).  Solvers with parallel
         executors never hang on worker failure: lost workers are recorded

@@ -22,6 +22,29 @@ This implementation adds the paper's two sequential optimizations:
 * **pluggable queue implementations** (§3.1.3): ``pq_kind`` selects
   BStack / BQueue / Heap, which changes the tie-breaking scan order and
   hence which (equally safe) edges get marked.
+
+Relaxation kernels
+------------------
+Two interchangeable kernels drive the scan, selected by ``kernel=``:
+
+``"scalar"``
+    The reference implementation: one Python-level loop iteration per arc.
+``"vector"``
+    Batch relaxation over numpy arrays.  With the BQueue the kernel drains
+    the whole top bucket at once whenever that bucket sits at the priority
+    clamp — FIFO order makes this *exactly* equivalent to popping one
+    vertex at a time (see :meth:`~repro.datastructures.bucket_pq.BQueuePQ.
+    drain_top_bucket`) — and relaxes the batch's concatenated arc slices
+    with array expressions: a segmented prefix sum recovers every
+    ``r(y)``-before-arc value, the NOI mark rule becomes a mask, marked
+    edges go through :meth:`~repro.datastructures.union_find.UnionFind.
+    union_pairs`, and each touched vertex is moved at most once in the
+    queue (to its final bucket) while the operation counters still account
+    for every elided intermediate event.  Outside the batchable regime
+    (other queue kinds, top bucket below the clamp, ``bounded=False``) the
+    vector kernel runs the scalar relaxation step, so results — λ̂, marks,
+    scan order, ``pq_stats`` — are bit-identical to ``kernel="scalar"``
+    for every configuration.
 """
 
 from __future__ import annotations
@@ -39,6 +62,24 @@ from ..graph.csr import Graph
 #: graph and the factory transparently falls back to the binary heap.
 MAX_BUCKET_BOUND = 1 << 22
 
+#: relaxation kernel registry (shared with the parallel scan and the CLI)
+KERNELS = ("scalar", "vector")
+
+#: below this many members, draining the top bucket costs more in array
+#: bookkeeping than the scalar pops it replaces (measured on GNM instances)
+MIN_BATCH = 16
+
+#: minimum arc-slice length before a *single* pop relaxes its slice with
+#: array expressions — below this the fixed per-call numpy overhead loses
+#: to the plain Python loop (measured crossover on GNM instances)
+POP_VECTOR_MIN_DEGREE = 96
+
+
+def check_kernel(kernel: str) -> str:
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+    return kernel
+
 
 @dataclass
 class CapforestResult:
@@ -46,7 +87,7 @@ class CapforestResult:
 
     #: marked contractible edges, as a union–find partition over the vertices
     uf: UnionFind
-    #: number of successful unions (0 means the pass made no progress)
+    #: number of marking events (0 means the pass made no progress)
     n_marked: int
     #: smallest cut value discovered (min of the input λ̂ and all scan cuts α);
     #: with ``fixed_bound=True`` this stays at the input value
@@ -89,6 +130,7 @@ def capforest(
     scan_all: bool = True,
     record_certificates: bool = False,
     fixed_bound: bool = False,
+    kernel: str = "scalar",
 ) -> CapforestResult:
     """Run one sequential CAPFOREST pass.
 
@@ -122,6 +164,10 @@ def capforest(
         approximation runs CAPFOREST with a deliberately *invalid* bound
         (below λ) where the usual tightening would be wrong; scan cuts are
         still tracked in ``min_alpha`` since each α is a real cut.
+    kernel:
+        ``"scalar"`` (reference, one Python iteration per arc) or
+        ``"vector"`` (batched numpy relaxation; identical results — see
+        module docstring).
 
     Notes
     -----
@@ -133,6 +179,7 @@ def capforest(
         raise ValueError(f"lambda_hat must be non-negative, got {lambda_hat}")
     if not bounded and pq_kind != "heap":
         raise ValueError("unbounded CAPFOREST requires the heap queue (bucket queues need a bound)")
+    check_kernel(kernel)
     n = graph.n
     uf = UnionFind(n)
     if n == 0:
@@ -146,17 +193,49 @@ def capforest(
 
     if bounded:
         effective_kind = pq_kind if lambda_hat <= MAX_BUCKET_BOUND else "heap"
-        pq = make_pq(effective_kind, n, bound=lambda_hat)
+        pq = make_pq(
+            effective_kind, n, bound=lambda_hat, array_keys=kernel == "vector"
+        )
     else:
+        effective_kind = "heap"
         pq = make_pq("heap", n, bound=None)
 
+    run = _capforest_vector if kernel == "vector" else _capforest_scalar
+    return run(
+        graph,
+        lambda_hat,
+        uf,
+        pq,
+        effective_kind,
+        start,
+        scan_all=scan_all,
+        record_certificates=record_certificates,
+        fixed_bound=fixed_bound,
+    )
+
+
+def _capforest_scalar(
+    graph: Graph,
+    lambda_hat: int,
+    uf: UnionFind,
+    pq,
+    effective_kind: str,
+    start: int,
+    *,
+    scan_all: bool,
+    record_certificates: bool,
+    fixed_bound: bool,
+) -> CapforestResult:
+    """Reference kernel: one Python loop iteration per relaxed arc."""
+    n = graph.n
     # Python-int copies of the CSR arrays: the scan loop below touches
     # single elements millions of times, where list indexing beats numpy
-    # scalar indexing ~3x (see the hpc-parallel profiling guide).
-    xadj = graph.xadj.tolist()
+    # scalar indexing ~3x (see the hpc-parallel profiling guide).  The
+    # conversions are cached on the Graph and shared across passes.
+    xadj = graph.xadj_list()
     adjncy = graph.adjncy
     adjwgt = graph.adjwgt
-    wdeg = graph.weighted_degrees().tolist()
+    wdeg = graph.weighted_degrees_list()
 
     visited = bytearray(n)
     r = [0] * n
@@ -227,6 +306,342 @@ def capforest(
                 certificates.append((x, y, q, lam, False))
             r[y] = q
             insert(y, q)
+
+    return CapforestResult(
+        uf=uf,
+        n_marked=n_marked,
+        lambda_hat=lam,
+        min_alpha=min_alpha,
+        scan_order=scan_order,
+        best_prefix=best_prefix,
+        pq_stats=pq.stats,
+        vertices_scanned=len(scan_order),
+        edges_scanned=edges_scanned,
+        certificates=certificates,
+    )
+
+
+def _capforest_vector(
+    graph: Graph,
+    lambda_hat: int,
+    uf: UnionFind,
+    pq,
+    effective_kind: str,
+    start: int,
+    *,
+    scan_all: bool,
+    record_certificates: bool,
+    fixed_bound: bool,
+) -> CapforestResult:
+    """Batch-relaxation kernel (see module docstring).
+
+    State lives in numpy arrays: ``r`` and ``pop_time``, the latter holding
+    each vertex's position in the scan order (``n`` while unscanned), which
+    doubles as the visited flag *and* the intra-batch schedule — an arc is
+    live exactly when its head's pop time exceeds its tail's.  Whenever the
+    BQueue's top bucket sits at the priority clamp the whole bucket is
+    drained and its concatenated arc slices are relaxed with array
+    expressions.  All other pops fall through to the scalar relaxation step
+    on the same state, so every observable output matches the scalar kernel
+    exactly.
+    """
+    n = graph.n
+    xadj_np = graph.xadj
+    xadj = graph.xadj_list()
+    adjncy = graph.adjncy
+    adjwgt = graph.adjwgt
+    wdeg_np = graph.weighted_degrees()
+    wdeg = graph.weighted_degrees_list()
+
+    pop_time = np.full(n, n, dtype=np.int64)
+    r = np.zeros(n, dtype=np.int64)
+    # per-batch weight sums stay exact in float64 (bincount) iff they stay
+    # under 2**53; fall back to the slower exact integer scatter-add else
+    small_weights = graph.total_weight() < (1 << 52)
+    # numpy's stable argsort is a radix sort for <= 16-bit integers (an
+    # order of magnitude faster than the comparison sort it uses for
+    # int64), so sort narrowed copies of the head ids whenever they fit
+    head_dtype = np.int16 if n <= np.iinfo(np.int16).max else np.int64
+    lam = lambda_hat
+    bound = lambda_hat
+    alpha = 0
+    min_alpha: int | None = None
+    scan_order: list[int] = []
+    best_prefix = 0
+    n_marked = 0
+    edges_scanned = 0
+    certificates: list[tuple[int, int, int, int, bool]] = []
+    stats = pq.stats
+    can_batch = effective_kind == "bqueue"
+    # single pops also relax their slice with array expressions when the PQ
+    # has a batch interface (bucket kinds); certificate recording needs the
+    # per-arc λ bookkeeping only the pure scalar loop keeps
+    pop_vector = effective_kind in ("bqueue", "bstack") and not record_certificates
+    arange_buf = np.empty(0, dtype=np.int64)  # grown on demand, reused across batches
+    # CAPFOREST only ever *writes* the union-find during the scan (nothing
+    # queries it until the result is consumed), and the final partition is
+    # the transitive closure of the marked pairs regardless of union order —
+    # so marks are buffered here and merged in one union_pairs call at the
+    # end, amortising the root-resolution passes over the whole scan
+    mark_us: list = []
+    mark_vs: list = []
+    scalar_marks: list[tuple[int, int]] = []
+
+    pq.insert_or_raise(start, 0)
+    next_restart = 0
+    while True:
+        if not len(pq):
+            if not scan_all:
+                break
+            while next_restart < n and pop_time[next_restart] < n:
+                next_restart += 1
+            if next_restart == n:
+                break
+            if scan_order and (min_alpha is None or 0 < min_alpha):
+                min_alpha = 0
+                best_prefix = len(scan_order)
+                if not fixed_bound:
+                    lam = 0
+            pq.insert_or_raise(next_restart, 0)
+
+        # ---- batched path: drain the whole at-the-clamp top bucket --------
+        # (top_bucket_len is an upper bound on the drain size; small top
+        # buckets stay on the scalar pop path so the array bookkeeping only
+        # runs when a real batch pays for it)
+        if (
+            can_batch
+            and pq.top_may_reach(bound)
+            and pq.top_key() == bound
+            and pq.top_bucket_len() >= MIN_BATCH
+        ):
+            batch = pq.drain_top_bucket()
+            k = len(batch)
+            sb = len(scan_order)
+            if sb + k > n:
+                from ..runtime.errors import NoProgressError
+
+                raise NoProgressError(f"scan popped more than {n} vertices")
+            idx = np.asarray(batch, dtype=np.int64)
+            starts_ = xadj_np[idx]
+            counts = xadj_np[idx + 1] - starts_
+            total = int(counts.sum())
+            if arange_buf.shape[0] < max(total, k):
+                arange_buf = np.arange(max(total, k), dtype=np.int64)
+            pt_idx = arange_buf[:k] + sb  # absolute pop times of the batch
+            pop_time[idx] = pt_idx
+
+            # concatenated arc slices of the batch, in pop order
+            if total:
+                cum = np.cumsum(counts)
+                arc = np.repeat(starts_ - (cum - counts), counts)
+                arc += arange_buf[:total]
+                ys = adjncy[arc]
+                tail_time = np.repeat(pt_idx, counts)
+                # an arc is relaxed iff its head is unvisited at the moment
+                # its tail is popped, i.e. the head pops later than the tail
+                # (unscanned heads hold pop_time == n, later than any pop):
+                # this is literally the scalar schedule, evaluated in bulk
+                pt_all = pop_time[ys]
+                live_idx = np.flatnonzero(pt_all > tail_time)
+                ys = ys[live_idx]
+                ws = adjwgt[arc[live_idx]]
+                src_pos = tail_time[live_idx]
+                src_pos -= sb
+                pt_ys = pt_all[live_idx]
+            else:
+                ys = ws = src_pos = pt_ys = np.empty(0, dtype=np.int64)
+            m_ev = len(ys)
+            edges_scanned += m_ev
+
+            # α per pop needs r at pop time, which includes the weight the
+            # earlier batch members already pushed into later ones
+            in_batch = pt_ys < sb + k
+            tgt = pt_ys[in_batch]
+            tgt -= sb
+            if small_weights:
+                intra = np.bincount(tgt, weights=ws[in_batch], minlength=k).astype(
+                    np.int64
+                )
+            else:
+                intra = np.zeros(k, dtype=np.int64)
+                np.add.at(intra, tgt, ws[in_batch])
+            alphas = alpha + np.cumsum(wdeg_np[idx] - 2 * (r[idx] + intra))
+            alpha = int(alphas[-1])
+
+            # only the first n-1-sb pops can improve the cut (a full prefix
+            # is no cut); λ̂ tightening is skipped entirely unless this batch
+            # actually improves it — the overwhelmingly common case
+            elig = min(k, n - 1 - sb)
+            lam_per_pop = None
+            if elig > 0:
+                mn = int(alphas[:elig].min())
+                if min_alpha is None or mn < min_alpha:
+                    min_alpha = mn
+                    best_prefix = sb + int(np.argmax(alphas[:elig] == mn)) + 1
+                if not fixed_bound and mn < lam:
+                    lam_per_pop = np.empty(k, dtype=np.int64)
+                    np.minimum.accumulate(
+                        np.minimum(alphas[:elig], lam), out=lam_per_pop[:elig]
+                    )
+                    lam_per_pop[elig:] = lam_per_pop[elig - 1]
+                    lam = int(lam_per_pop[-1])
+            scan_order.extend(batch)
+
+            if m_ev:
+                # group events by head vertex (stable: event order preserved
+                # within each group) and recover every r(y)-before-arc value
+                # with a segmented exclusive prefix sum
+                order = np.argsort(ys.astype(head_dtype, copy=False), kind="stable")
+                ys_s = ys[order]
+                ws_s = ws[order]
+                grp_first = np.empty(m_ev, dtype=bool)
+                grp_first[0] = True
+                np.not_equal(ys_s[1:], ys_s[:-1], out=grp_first[1:])
+                first_idx = np.flatnonzero(grp_first)
+                grp_sizes = np.diff(np.append(first_idx, m_ev))
+                excl = np.cumsum(ws_s)
+                excl -= ws_s
+                r0 = r[ys_s[first_idx]]  # pre-batch r, one per head
+                r_before = excl + np.repeat(r0 - excl[first_idx], grp_sizes)
+                q_s = r_before + ws_s
+
+                if lam_per_pop is None:
+                    mark = (r_before < lam) & (lam <= q_s)
+                else:
+                    lam_evt = lam_per_pop[src_pos[order]]
+                    mark = (r_before < lam_evt) & (lam_evt <= q_s)
+                mark_idx = np.flatnonzero(mark)
+                if len(mark_idx):
+                    src_evt = order[mark_idx]
+                    mark_us.append(idx[src_pos[src_evt]])
+                    mark_vs.append(ys_s[mark_idx])
+                    n_marked += len(mark_idx)
+
+                # event-accurate queue counters (Lemma 3.1 classification
+                # straight from r: a push is a group's first event with
+                # r == 0; an event moves the head unless it is skipped at
+                # the bound — and every non-push move is a strict raise)
+                mask_move = r_before < (bound if bound > 0 else 1)
+                # within each group r_before is nondecreasing (weights are
+                # positive), so the moving events form a prefix; a single
+                # maximum.reduceat yields each group's last move event
+                # directly (-1 for groups that never move)
+                last_all = np.maximum.reduceat(
+                    np.where(mask_move, arange_buf[:m_ev], -1), first_idx
+                )
+                moved = int(np.count_nonzero(mask_move))
+                pushes = int((r0 == 0).sum())
+                stats.pushes += pushes
+                stats.updates += moved - pushes
+                stats.skipped_updates += m_ev - moved
+
+                if record_certificates:
+                    q_orig = np.empty(m_ev, dtype=np.int64)
+                    q_orig[order] = q_s
+                    mark_orig = np.empty(m_ev, dtype=bool)
+                    mark_orig[order] = mark
+                    if lam_per_pop is None:
+                        lam_orig = np.full(m_ev, lam, dtype=np.int64)
+                    else:
+                        lam_orig = lam_per_pop[src_pos]
+                    certificates.extend(
+                        zip(
+                            idx[src_pos].tolist(),
+                            ys.tolist(),
+                            q_orig.tolist(),
+                            lam_orig.tolist(),
+                            mark_orig.tolist(),
+                        )
+                    )
+
+                # each head moves in the queue only at its *last* reposition
+                # event (repositions are a prefix of its group); applying
+                # just that final move, ordered by original event time,
+                # reproduces the scalar queue state exactly
+                has_move = last_all >= 0
+                if has_move.any():
+                    last_evt = last_all[has_move]
+                    evt = order[last_evt]  # distinct event times, one per head
+                    if m_ev <= np.iinfo(np.int16).max:
+                        evt = evt.astype(np.int16)
+                    # permute *first*, then gather once per array; every push
+                    # is a move (r_before = 0 < λ̂), so the push count from
+                    # the stats block doubles as the queue-growth delta and
+                    # old keys never need materialising
+                    sel = last_evt[np.argsort(evt, kind="stable")]
+                    pq.apply_relaxations(
+                        ys_s[sel], None, np.minimum(q_s[sel], bound),
+                        n_pushes=pushes,
+                    )
+
+                # total relaxation per head = its group's last q
+                grp_last = first_idx + grp_sizes - 1
+                r[ys_s[grp_last]] = q_s[grp_last]
+
+            continue
+
+        # ---- scalar path: single pop (top bucket below the clamp, BStack,
+        # heap, or a batch too small to pay for the array bookkeeping) ------
+        x, _ = pq.pop_max()
+        if len(scan_order) >= n:
+            from ..runtime.errors import NoProgressError
+
+            raise NoProgressError(f"scan popped more than {n} vertices")
+        rx = int(r[x])
+        alpha += wdeg[x] - 2 * rx
+        pop_time[x] = len(scan_order)
+        scan_order.append(x)
+        if len(scan_order) < n and (min_alpha is None or alpha < min_alpha):
+            min_alpha = alpha
+            best_prefix = len(scan_order)
+            if not fixed_bound and alpha < lam:
+                lam = alpha
+
+        lo, hi = xadj[x], xadj[x + 1]
+        if pop_vector and hi - lo >= POP_VECTOR_MIN_DEGREE:
+            # per-pop vectorized relaxation (no cross-pop batching, so the
+            # pop schedule is untouched); heads within one slice are
+            # distinct by the simple-graph invariant, so array order is
+            # exactly the scalar arc order and insert_many's counters match
+            # the per-arc insert_or_raise sequence event-for-event
+            ys = adjncy[lo:hi]
+            keep = np.flatnonzero(pop_time[ys] == n)
+            m_ev = len(keep)
+            edges_scanned += m_ev
+            if m_ev:
+                ys = ys[keep]
+                ry = r[ys]
+                q = ry + adjwgt[lo:hi][keep]
+                marked = np.flatnonzero((ry < lam) & (lam <= q))
+                if len(marked):
+                    mark_us.append(np.full(len(marked), x, dtype=np.int64))
+                    mark_vs.append(ys[marked])
+                    n_marked += len(marked)
+                r[ys] = q
+                pq.insert_many(ys, q)
+            continue
+        for y, w in zip(adjncy[lo:hi].tolist(), adjwgt[lo:hi].tolist()):
+            if pop_time[y] < n:
+                continue
+            edges_scanned += 1
+            ry = int(r[y])
+            q = ry + w
+            if ry < lam <= q:
+                scalar_marks.append((x, y))
+                n_marked += 1
+                if record_certificates:
+                    certificates.append((x, y, q, lam, True))
+            elif record_certificates:
+                certificates.append((x, y, q, lam, False))
+            r[y] = q
+            pq.insert_or_raise(y, q)
+
+    if scalar_marks:
+        pairs = np.asarray(scalar_marks, dtype=np.int64)
+        mark_us.append(pairs[:, 0])
+        mark_vs.append(pairs[:, 1])
+    if mark_us:
+        uf.union_pairs(np.concatenate(mark_us), np.concatenate(mark_vs))
 
     return CapforestResult(
         uf=uf,

@@ -52,9 +52,11 @@ def parallel_mincut(
     workers: int = 4,
     pq_kind: str = "bqueue",
     executor: str = "serial",
+    kernel: str = "scalar",
     use_viecut: bool = True,
     rng: np.random.Generator | int | None = None,
     compute_side: bool = True,
+    start_method: str | None = None,
     timeout: float | None = None,
     on_worker_failure: str = "degrade",
     fault_plan: FaultPlan | None = None,
@@ -70,6 +72,13 @@ def parallel_mincut(
     executor:
         ``"serial"`` (deterministic round-robin), ``"threads"`` or
         ``"processes"`` — see :mod:`~repro.core.parallel_capforest`.
+    kernel:
+        CAPFOREST relaxation kernel (``"scalar"`` or ``"vector"``), used by
+        the parallel workers and both sequential fallbacks alike.
+    start_method:
+        Multiprocessing start method for ``executor="processes"`` (default:
+        ``fork`` where available, else ``spawn``); the method actually used
+        is reported in ``stats["start_method"]``.
     use_viecut:
         Seed ``λ̂`` with VieCut (Algorithm 2 line 1).  Disable to measure
         the contribution of the seed (ablation).
@@ -108,6 +117,7 @@ def parallel_mincut(
         "viecut_value": None,
         "worker_events": [],
         "degradations": [],
+        "start_method": None,
     }
     algo = f"parcut-{pq_kind}" + ("" if use_viecut else "-noseed")
 
@@ -155,6 +165,7 @@ def parallel_mincut(
         def run_pass(exe, _g=g, _lam=lam):
             return parallel_capforest(
                 _g, _lam, workers=workers, pq_kind=pq_kind, executor=exe, rng=rng,
+                kernel=kernel, start_method=start_method,
                 timeout=timeout, fault_plan=fault_plan,
             )
 
@@ -169,6 +180,8 @@ def parallel_mincut(
         pres, active_executor = call_with_degradation(
             run_pass, active_executor, policy=on_worker_failure, on_degrade=record_degradation
         )
+        if pres.start_method is not None:
+            stats["start_method"] = pres.start_method
         if pres.events:
             stats["worker_events"].extend(
                 dict(ev, round=stats["rounds"]) for ev in pres.events
@@ -195,7 +208,7 @@ def parallel_mincut(
         if pres.n_marked == 0:
             # Algorithm 2 line 5: one sequential CAPFOREST pass
             stats["seq_fallback_rounds"] += 1
-            seq = capforest(g, lam, pq_kind=pq_kind, bounded=True, rng=rng)
+            seq = capforest(g, lam, pq_kind=pq_kind, bounded=True, rng=rng, kernel=kernel)
             _absorb(stats, seq)
             stats["total_work"] += seq.edges_scanned + seq.vertices_scanned
             stats["makespan_work"] += seq.edges_scanned + seq.vertices_scanned
@@ -210,7 +223,7 @@ def parallel_mincut(
             if seq.n_marked == 0:
                 # Stoer–Wagner phase guarantee (see noi.py module docstring)
                 stats["sw_fallback_rounds"] += 1
-                sw = capforest(g, lam, pq_kind="heap", bounded=False, rng=rng)
+                sw = capforest(g, lam, pq_kind="heap", bounded=False, rng=rng, kernel=kernel)
                 _absorb(stats, sw)
                 if sw.lambda_hat < best_value:
                     best_value = sw.lambda_hat

@@ -39,6 +39,7 @@ def noi_mincut(
     *,
     pq_kind: str = "heap",
     bounded: bool = True,
+    kernel: str = "scalar",
     initial_bound: int | None = None,
     initial_side: np.ndarray | None = None,
     rng: np.random.Generator | int | None = None,
@@ -55,6 +56,10 @@ def noi_mincut(
     pq_kind, bounded:
         CAPFOREST configuration (see module docstring for the paper's
         variant names).
+    kernel:
+        CAPFOREST relaxation kernel, ``"scalar"`` or ``"vector"``
+        (:data:`repro.core.capforest.KERNELS`).  Results are identical;
+        only the speed differs.
     initial_bound, initial_side:
         An externally known cut (value and optional side mask), e.g. from
         VieCut.  Must be the capacity of a real cut (any valid upper bound
@@ -136,7 +141,7 @@ def noi_mincut(
 
     while g.n > 2 and lam > 0:
         round_n, round_m, lam_in = g.n, g.m, lam
-        res = capforest(g, lam, pq_kind=pq_kind, bounded=bounded, rng=rng)
+        res = capforest(g, lam, pq_kind=pq_kind, bounded=bounded, rng=rng, kernel=kernel)
         stats["rounds"] += 1
         _absorb(stats, res)
         uf = res.uf
@@ -150,7 +155,7 @@ def noi_mincut(
             # Stoer–Wagner phase fallback: one unbounded maximum-adjacency
             # scan; contract its last two vertices (safe, see module doc).
             stats["fallback_rounds"] += 1
-            sw = capforest(g, lam, pq_kind="heap", bounded=False, rng=rng)
+            sw = capforest(g, lam, pq_kind="heap", bounded=False, rng=rng, kernel=kernel)
             _absorb(stats, sw)
             if sw.lambda_hat < best_value:
                 best_value = sw.lambda_hat

@@ -17,6 +17,14 @@ lock-striped union–find (threads), a plain union–find (serial), or
 per-worker merge buffers replayed afterwards (processes) — all equivalent
 because unions commute (Lemma 3.2(1)).
 
+Workers run either the ``scalar`` relaxation kernel (one Python iteration
+per arc — the reference) or the ``vector`` kernel, which relaxes each
+popped vertex's whole arc slice with numpy array expressions.  The vector
+worker stays *per-pop* — it never batches across pops the way the
+sequential vector kernel does — so the pop/claim interleaving, and with it
+the round-robin semantics of the serial executor, is identical between
+kernels.
+
 Executors
 ---------
 ``serial``
@@ -30,9 +38,17 @@ Executors
     GIL serializes the scan loops, so wall-clock scaling is limited — this
     is the documented Python-vs-C++ substitution (DESIGN.md §2).
 ``processes``
-    ``fork``-based workers.  ``T`` lives in a ``multiprocessing.RawArray``;
-    ``λ̂`` in a ``Value``; marked pairs return through a queue.  True
-    parallelism for wall-clock scaling experiments.
+    Process workers over a zero-copy shared-memory plane
+    (:mod:`repro.graph.shm`): the CSR graph is exported once into a named
+    segment that every worker maps read-only style (no per-worker graph
+    copy, under ``fork`` *and* ``spawn``), ``T`` is a shared byte plane,
+    ``λ̂`` a ``multiprocessing.Value``, and marked pairs come back through
+    a preallocated shared int64 buffer — each worker deduplicates its marks
+    through a local union–find, so its row never exceeds ``n - 1`` pairs.
+    The start method defaults to ``fork`` where the platform offers it and
+    falls back to ``spawn`` otherwise (overridable via ``start_method=``);
+    the method used is surfaced on the result.  True parallelism for
+    wall-clock scaling experiments.
 
 All three executors run under the supervised execution runtime
 (:mod:`~repro.runtime`): the process executor collects results through a
@@ -41,7 +57,9 @@ events instead of a hung coordinator), thread workers have their uncaught
 exceptions captured, and a deterministic :class:`~repro.runtime.FaultPlan`
 can be injected on any executor for testing.  Losing a worker only drops
 its contraction marks, which Lemma 3.2(1) shows is always safe — the
-survivors' merged result stays exact.
+survivors' merged result stays exact.  Shared-memory segments are owned by
+the coordinator and unlinked in a ``finally`` block, so even a round whose
+workers were all killed leaves nothing behind in ``/dev/shm``.
 """
 
 from __future__ import annotations
@@ -57,7 +75,7 @@ from ..graph.csr import Graph
 from ..runtime.errors import ExecutorUnavailable, NoProgressError, WorkerCrashed
 from ..runtime.faults import FaultClock, FaultPlan
 from ..runtime.supervisor import supervise_processes, worker_event
-from .capforest import MAX_BUCKET_BOUND
+from .capforest import MAX_BUCKET_BOUND, check_kernel
 
 EXECUTORS = ("serial", "threads", "processes")
 
@@ -95,6 +113,9 @@ class ParallelCapforestResult:
     #: structured worker-failure events recorded by the supervisor (empty
     #: when every worker completed cleanly); see :func:`repro.runtime.worker_event`
     events: list[dict] = field(default_factory=list)
+    #: multiprocessing start method actually used ("fork"/"spawn"/...);
+    #: None for the in-process executors
+    start_method: str | None = None
 
     @property
     def total_work(self) -> int:
@@ -138,11 +159,12 @@ class _FrozenBound:
         return
 
 
-def _make_worker(graph_arrays, worker_id, start, pq_kind, bound, T, lam_box, union):
+def _make_worker(graph_arrays, worker_id, start, pq_kind, bound, T, lam_box, union, kernel):
     """Build (generator, report) for one worker over prepared graph arrays."""
     xadj, adjncy, adjwgt, wdeg, n = graph_arrays
     report = WorkerReport(worker_id=worker_id, start_vertex=start)
-    gen = _region_worker_with_prefix(
+    region = _region_worker_vector if kernel == "vector" else _region_worker_with_prefix
+    gen = region(
         xadj, adjncy, adjwgt, wdeg, n, T, lam_box, union, start, pq_kind, bound, report
     )
     return gen, report
@@ -212,6 +234,78 @@ def _region_worker_with_prefix(
     report.best_prefix = scan_order[:best_len]
 
 
+def _region_worker_vector(
+    xadj, adjncy, adjwgt, wdeg, n, T, lam_box, union, start, pq_kind, bound, report
+):
+    """Vector-kernel twin of :func:`_region_worker_with_prefix`.
+
+    Relaxes each popped vertex's arc slice with array expressions — the
+    dead-neighbour filter, ``q = r + w``, the mark test, and the queue
+    updates (:meth:`increase_many`, which preserves per-event
+    classification, statistics, and FIFO order) are all vectorized.
+    Deliberately per-pop: yielding after every pop and claiming ``T``
+    one vertex at a time keeps the interleaving identical to the scalar
+    worker, so the serial executor produces bit-identical results under
+    either kernel.  Graphs are simple by invariant (``validate.py``), so
+    an arc slice never names a neighbour twice and ``r`` reads within one
+    slice cannot go stale.
+    """
+    pq = make_pq(
+        pq_kind if bound <= MAX_BUCKET_BOUND else "heap", n, bound=bound,
+        array_keys=True,
+    )
+    report.pq_stats = pq.stats
+    dead = np.zeros(n, dtype=bool)  # blacklisted-or-locally-visited, merged
+    r = np.zeros(n, dtype=np.int64)
+    alpha = 0
+    scan_order: list[int] = []
+    best_len = 0
+
+    pq.insert_or_raise(start, 0)
+    pops = 0
+    while len(pq):
+        x, _ = pq.pop_max()
+        pops += 1
+        if pops > n:
+            raise NoProgressError(
+                f"worker {report.worker_id} popped {pops} vertices from a {n}-vertex graph"
+            )
+        if T[x]:
+            dead[x] = True
+            report.blacklisted += 1
+            yield
+            continue
+        T[x] = 1
+        dead[x] = True
+        alpha += wdeg[x] - 2 * int(r[x])
+        scan_order.append(x)
+        report.vertices_scanned += 1
+        if report.vertices_scanned < n and (report.best_alpha is None or alpha < report.best_alpha):
+            report.best_alpha = alpha
+            best_len = len(scan_order)
+            lam_box.minimize(alpha)
+        lam = lam_box.value
+        lo, hi = xadj[x], xadj[x + 1]
+        ys = adjncy[lo:hi]
+        keep = np.flatnonzero(~dead[ys])
+        m = len(keep)
+        report.edges_scanned += m
+        if m:
+            ys = ys[keep]
+            ry = r[ys]
+            q = ry + adjwgt[lo:hi][keep]
+            marks = np.flatnonzero((ry < lam) & (lam <= q))
+            if len(marks):
+                # scalar union calls, in arc order, so a shared union–find
+                # sees the same sequence the scalar worker would produce
+                for y in ys[marks].tolist():
+                    union(x, y)
+            r[ys] = q
+            pq.increase_many(ys, q)
+        yield
+    report.best_prefix = scan_order[:best_len]
+
+
 def parallel_capforest(
     graph: Graph,
     lambda_hat: int,
@@ -219,8 +313,10 @@ def parallel_capforest(
     workers: int = 4,
     pq_kind: str = "bqueue",
     executor: str = "serial",
+    kernel: str = "scalar",
     rng: np.random.Generator | int | None = None,
     fixed_bound: bool = False,
+    start_method: str | None = None,
     timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
 ) -> ParallelCapforestResult:
@@ -231,10 +327,18 @@ def parallel_capforest(
     nothing (early termination, §3.2) — callers fall back to sequential
     CAPFOREST, as Algorithm 2 does.
 
+    ``kernel`` selects the per-worker relaxation kernel (``"scalar"`` or
+    ``"vector"``, see :data:`repro.core.capforest.KERNELS`); both produce
+    identical results on every executor.
+
     ``fixed_bound=True`` freezes the shared marking threshold at the input
     value (workers still report their scan cuts) — the configuration the
     parallel Matula approximation needs, where ``λ̂`` is deliberately below
     the true minimum cut and must not be "tightened" by real cuts.
+
+    ``start_method`` pins the multiprocessing start method for the
+    ``processes`` executor (default: ``fork`` where available, else
+    ``spawn``); the method used is reported in ``result.start_method``.
 
     ``timeout`` bounds the whole pass for the process executor (a finite
     backstop applies even when ``None`` — see
@@ -250,6 +354,7 @@ def parallel_capforest(
         raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    check_kernel(kernel)
     n = graph.n
     if n == 0:
         return ParallelCapforestResult(UnionFind(0), 0, lambda_hat, [], None)
@@ -258,6 +363,11 @@ def parallel_capforest(
 
     p = min(workers, n)
     starts = rng.choice(n, size=p, replace=False).tolist()
+
+    if executor == "processes":
+        return _run_processes(graph, lambda_hat, starts, pq_kind, fixed_bound, kernel,
+                              start_method, timeout=timeout, fault_plan=fault_plan)
+
     graph_arrays = (
         graph.xadj.tolist(),
         graph.adjncy,
@@ -265,11 +375,6 @@ def parallel_capforest(
         graph.weighted_degrees().tolist(),
         n,
     )
-
-    if executor == "processes":
-        return _run_processes(graph_arrays, lambda_hat, starts, pq_kind, fixed_bound,
-                              timeout=timeout, fault_plan=fault_plan)
-
     T = bytearray(n)
     lam_box = _FrozenBound(lambda_hat) if fixed_bound else _SharedBound(lambda_hat)
     if executor == "serial":
@@ -282,7 +387,7 @@ def parallel_capforest(
         union = striped.union
 
     gens_reports = [
-        _make_worker(graph_arrays, i, s, pq_kind, lambda_hat, T, lam_box, union)
+        _make_worker(graph_arrays, i, s, pq_kind, lambda_hat, T, lam_box, union, kernel)
         for i, s in enumerate(starts)
     ]
     reports = [rep for _, rep in gens_reports]
@@ -378,68 +483,110 @@ def _finalize(
 # ---------------------------------------------------------------------------
 
 
+def default_start_method() -> str:
+    """``fork`` where the platform offers it, else ``spawn``."""
+    import multiprocessing as mp
+
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
 def _run_processes(
-    graph_arrays, lambda_hat, starts, pq_kind, fixed_bound=False,
+    graph: Graph, lambda_hat, starts, pq_kind, fixed_bound=False, kernel="scalar",
+    start_method: str | None = None,
     *, timeout: float | None = None, fault_plan: FaultPlan | None = None,
 ) -> ParallelCapforestResult:
-    """Fork-based executor, supervised: never blocks indefinitely.
+    """Process executor over the shared-memory plane, supervised.
+
+    The CSR graph, the visited table ``T``, and the marked-pair return
+    buffer all live in named shared-memory segments (:mod:`repro.graph.shm`)
+    created here and attached by name in each worker — so the executor is
+    start-method agnostic (``fork`` and ``spawn`` share the same zero-copy
+    path) and workers return at most ``n - 1`` locally-deduplicated pairs
+    through preallocated memory instead of pickling tuples.
 
     Results are collected through :func:`repro.runtime.supervise_processes`
     — bounded ``get`` with per-worker exit-code checks — so a crashed,
     wedged, silent, or corrupt worker becomes a structured event and the
-    survivors' marks are merged (safe by Lemma 3.2(1)).  With zero
-    survivors, :class:`~repro.runtime.ExecutorUnavailable` is raised for
-    the caller's degradation ladder.
+    survivors' marks are merged (safe by Lemma 3.2(1)).  Pair rows are
+    range-checked before merging, exactly as queue payloads were: a worker
+    publishing out-of-range vertices is recorded as *corrupt* and discarded.
+    With zero survivors, :class:`~repro.runtime.ExecutorUnavailable` is
+    raised for the caller's degradation ladder.  The coordinator owns the
+    segments: the ``finally`` block unlinks them even when every worker was
+    killed, so no run can leak ``/dev/shm`` entries.
     """
     import multiprocessing as mp
 
-    ctx = mp.get_context("fork")
-    n = graph_arrays[4]
-    T = ctx.RawArray("B", n)  # zero-initialised shared visited table
-    lam_val = ctx.Value("q", lambda_hat, lock=False)
-    lam_lock = ctx.Lock()
-    out = ctx.Queue()  # Queue (not SimpleQueue): its get() supports a timeout
+    from ..graph.shm import SharedBytes, SharedGraph, SharedPairsBuffer
 
-    procs = [
-        ctx.Process(
-            target=_process_worker,
-            args=(
-                graph_arrays, i, s, pq_kind, lambda_hat, T, lam_val, lam_lock, out, fixed_bound,
-                fault_plan.for_worker(i, "processes") if fault_plan else None,
-            ),
-            daemon=True,
-        )
-        for i, s in enumerate(starts)
-    ]
-    for pr in procs:
-        pr.start()
-    outcome = supervise_processes(procs, out, n=n, timeout=timeout)
-    if outcome.all_lost:
-        raise ExecutorUnavailable("processes", "no worker reported a result", outcome.events)
+    method = start_method or default_start_method()
+    ctx = mp.get_context(method)
+    n = graph.n
+    p = len(starts)
 
-    uf = UnionFind(n)
-    reports: list[WorkerReport] = []
-    lam_out = lambda_hat
-    for worker_id in sorted(outcome.results):
-        _, pairs, rep_dict = outcome.results[worker_id]
-        for u, v in pairs:
-            uf.union(u, v)
-        rep = WorkerReport(
-            worker_id=worker_id,
-            start_vertex=rep_dict["start_vertex"],
-            vertices_scanned=rep_dict["vertices_scanned"],
-            edges_scanned=rep_dict["edges_scanned"],
-            blacklisted=rep_dict["blacklisted"],
-            pq_stats=PQStats(**rep_dict["pq_stats"]),
-            best_alpha=rep_dict["best_alpha"],
-            best_prefix=rep_dict["best_prefix"],
-        )
-        reports.append(rep)
-        if not fixed_bound and rep.best_alpha is not None and rep.best_alpha < lam_out:
-            lam_out = rep.best_alpha
-    res = _finalize(uf, lambda_hat, lam_out, reports, n)
-    res.events = outcome.events
-    return res
+    shared_graph = SharedGraph.export(graph)
+    pair_buf = SharedPairsBuffer.create(p, n)
+    visited = SharedBytes.create(n)
+    try:
+        lam_val = ctx.Value("q", lambda_hat, lock=False)
+        lam_lock = ctx.Lock()
+        out = ctx.Queue()  # Queue (not SimpleQueue): its get() supports a timeout
+
+        procs = [
+            ctx.Process(
+                target=_process_worker,
+                args=(
+                    shared_graph.name, pair_buf.name, visited.name, p, n,
+                    i, s, pq_kind, lambda_hat, lam_val, lam_lock, out, fixed_bound, kernel,
+                    fault_plan.for_worker(i, "processes") if fault_plan else None,
+                ),
+                daemon=True,
+            )
+            for i, s in enumerate(starts)
+        ]
+        for pr in procs:
+            pr.start()
+        outcome = supervise_processes(procs, out, n=n, timeout=timeout)
+        if outcome.all_lost:
+            raise ExecutorUnavailable("processes", "no worker reported a result", outcome.events)
+
+        uf = UnionFind(n)
+        reports: list[WorkerReport] = []
+        lam_out = lambda_hat
+        for worker_id in sorted(outcome.results):
+            _, _, rep_dict = outcome.results[worker_id]
+            pairs = pair_buf.read_pairs(worker_id)
+            if len(pairs) and (pairs.min() < 0 or int(pairs.max()) >= n):
+                outcome.events.append(worker_event(
+                    worker_id, "corrupt",
+                    detail=f"worker {worker_id}: shared pair row out of range for n={n}",
+                ))
+                continue
+            if len(pairs):
+                uf.union_pairs(pairs[:, 0], pairs[:, 1])
+            rep = WorkerReport(
+                worker_id=worker_id,
+                start_vertex=rep_dict["start_vertex"],
+                vertices_scanned=rep_dict["vertices_scanned"],
+                edges_scanned=rep_dict["edges_scanned"],
+                blacklisted=rep_dict["blacklisted"],
+                pq_stats=PQStats(**rep_dict["pq_stats"]),
+                best_alpha=rep_dict["best_alpha"],
+                best_prefix=rep_dict["best_prefix"],
+            )
+            reports.append(rep)
+            if not fixed_bound and rep.best_alpha is not None and rep.best_alpha < lam_out:
+                lam_out = rep.best_alpha
+        if not reports:
+            raise ExecutorUnavailable("processes", "no worker survived validation",
+                                      outcome.events)
+        res = _finalize(uf, lambda_hat, lam_out, reports, n)
+        res.events = outcome.events
+        res.start_method = method
+        return res
+    finally:
+        for seg in (shared_graph, pair_buf, visited):
+            seg.unlink()
 
 
 class _ProcessBound:
@@ -463,63 +610,94 @@ class _ProcessBound:
 
 
 def _process_worker(
-    graph_arrays, worker_id, start, pq_kind, bound, T, lam_val, lam_lock, out, fixed_bound=False,
-    fault=None,
+    graph_name, pairs_name, visited_name, p, n, worker_id, start, pq_kind, bound,
+    lam_val, lam_lock, out, fixed_bound=False, kernel="scalar", fault=None,
 ) -> None:  # pragma: no cover - exercised via subprocesses
     import os
     import time as _time
 
-    pairs: list[tuple[int, int]] = []
-    report = WorkerReport(worker_id=worker_id, start_vertex=start)
-    lam_box = _FrozenBound(bound) if fixed_bound else _ProcessBound(lam_val, lam_lock)
-    gen = _region_worker_with_prefix(
-        graph_arrays[0],
-        graph_arrays[1],
-        graph_arrays[2],
-        graph_arrays[3],
-        graph_arrays[4],
-        T,
-        lam_box,
-        lambda u, v: pairs.append((u, v)),
-        start,
-        pq_kind,
-        bound,
-        report,
-    )
-    clock = FaultClock(fault)
-    for _ in gen:
-        f = clock.tick()
-        if f is None:
-            continue
-        if f.kind == "crash":
-            os._exit(f.exit_code)  # hard kill: no result, nonzero exit
-        if f.kind in ("hang", "delay"):
-            _time.sleep(f.sleep_seconds)
-    if fault is not None and not clock.fired:
-        # a worker that finished before its pop trigger (another worker
-        # claimed its region first) still fails as scripted — injected
-        # faults must be deterministic, not scheduling-dependent
-        if fault.kind == "crash":
-            os._exit(fault.exit_code)
-        if fault.kind in ("hang", "delay"):
-            _time.sleep(fault.sleep_seconds)
-    if fault is not None and fault.kind == "drop_result":
-        return  # clean exit, result silently lost
-    if fault is not None and fault.kind == "corrupt_pairs":
-        n = graph_arrays[4]
-        pairs = [(n + 1, n + 2)]  # out of range: supervisor must reject
-    out.put(
-        (
-            worker_id,
-            pairs,
-            {
-                "start_vertex": report.start_vertex,
-                "vertices_scanned": report.vertices_scanned,
-                "edges_scanned": report.edges_scanned,
-                "blacklisted": report.blacklisted,
-                "pq_stats": report.pq_stats.as_dict(),
-                "best_alpha": report.best_alpha,
-                "best_prefix": report.best_prefix,
-            },
+    from ..graph.shm import SharedBytes, SharedGraph, SharedPairsBuffer
+
+    shared_graph = SharedGraph.attach(graph_name)
+    pair_buf = SharedPairsBuffer.attach(pairs_name, p, n)
+    visited = SharedBytes.attach(visited_name, n)
+    try:
+        g = shared_graph.graph()  # arrays are views into the segment: zero-copy
+        graph_arrays = (
+            g.xadj.tolist(), g.adjncy, g.adjwgt, g.weighted_degrees().tolist(), n,
         )
-    )
+
+        # local union–find dedup: a redundant pair adds nothing to the final
+        # partition (the closure of the pair multiset), so only partition-
+        # changing pairs are published — which bounds the row at n - 1 pairs
+        luf = UnionFind(n)
+        pairs: list[tuple[int, int]] = []
+
+        def union(u: int, v: int) -> None:
+            if luf.union(u, v):
+                pairs.append((u, v))
+
+        report = WorkerReport(worker_id=worker_id, start_vertex=start)
+        lam_box = _FrozenBound(bound) if fixed_bound else _ProcessBound(lam_val, lam_lock)
+        region = _region_worker_vector if kernel == "vector" else _region_worker_with_prefix
+        gen = region(
+            graph_arrays[0],
+            graph_arrays[1],
+            graph_arrays[2],
+            graph_arrays[3],
+            graph_arrays[4],
+            visited.buf,
+            lam_box,
+            union,
+            start,
+            pq_kind,
+            bound,
+            report,
+        )
+        clock = FaultClock(fault)
+        for _ in gen:
+            f = clock.tick()
+            if f is None:
+                continue
+            if f.kind == "crash":
+                os._exit(f.exit_code)  # hard kill: no result, nonzero exit
+            if f.kind in ("hang", "delay"):
+                _time.sleep(f.sleep_seconds)
+        if fault is not None and not clock.fired:
+            # a worker that finished before its pop trigger (another worker
+            # claimed its region first) still fails as scripted — injected
+            # faults must be deterministic, not scheduling-dependent
+            if fault.kind == "crash":
+                os._exit(fault.exit_code)
+            if fault.kind in ("hang", "delay"):
+                _time.sleep(fault.sleep_seconds)
+        if fault is not None and fault.kind == "drop_result":
+            return  # clean exit, result silently lost
+        if fault is not None and fault.kind == "corrupt_pairs":
+            pairs = [(n + 1, n + 2)]  # out of range: coordinator must reject the row
+        pair_buf.write_pairs(worker_id, pairs)
+        out.put(
+            (
+                worker_id,
+                None,  # pairs travel through the shared buffer, not the queue
+                {
+                    "start_vertex": report.start_vertex,
+                    "vertices_scanned": report.vertices_scanned,
+                    "edges_scanned": report.edges_scanned,
+                    "blacklisted": report.blacklisted,
+                    "pq_stats": report.pq_stats.as_dict(),
+                    "best_alpha": report.best_alpha,
+                    "best_prefix": report.best_prefix,
+                },
+            )
+        )
+    finally:
+        # drop every view into the segments before closing them, otherwise
+        # SharedMemory refuses to unmap ("cannot close exported pointers")
+        # — at interpreter shutdown that becomes an ignored-in-__del__ noise
+        gen = graph_arrays = g = None
+        for seg in (shared_graph, pair_buf, visited):
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - view leak backstop
+                pass

@@ -2,9 +2,8 @@
 
 Keys are integers in ``[0, bound]`` (the bound is the minimum-cut upper
 bound ``λ̂``).  One bucket per key; the queue tracks the highest non-empty
-bucket ("top bucket").  Updates delete the element from its bucket and push
-it to the new bucket, both O(1); ``pop_max`` may scan down from the previous
-top bucket, which is the only non-constant operation.
+bucket ("top bucket").  ``pop_max`` may scan down from the previous top
+bucket, which is the only non-constant operation.
 
 The two variants differ only in which end of the top bucket ``pop_max``
 takes, and that difference is behaviourally important (paper §3.1.3/§4):
@@ -17,26 +16,41 @@ takes, and that difference is behaviourally important (paper §3.1.3/§4):
   closer to breadth-first — which the paper finds best for the *parallel*
   algorithm (regions grow roundly, reducing overlap).
 
-Both are implemented over one intrusive doubly-linked list embedded in two
-plain Python lists (``next``/``prev`` indexed by vertex id), so deletion
-from the middle of a bucket is O(1) without invalidating other entries —
-equivalent to the paper's swap-delete vector and deque but with a single
-shared code path.  Plain lists are used instead of numpy arrays because
-single-element access dominates here and is 2–3x faster on lists.
+Buckets are plain deques with *lazy deletion*: raising a key appends the
+vertex to its new bucket and simply abandons the old entry, which is
+recognised as stale (``key[v] != bucket``) and discarded when a pop or
+drain next walks over it.  Every entry is appended once and discarded at
+most once, so all operations stay amortised O(1) — and, unlike the
+intrusive doubly-linked buckets this replaces, a raise does *no* unlink
+work and the vector CAPFOREST kernel can apply a whole batch of
+relaxations with one ``deque.extend`` per destination bucket.
+
+Lazy deletion never changes what ``pop_max`` returns: an entry is taken
+only if its vertex currently holds exactly that key, and taking it
+invalidates the vertex's other entries, so keys are always current and no
+vertex pops twice.  The one observable difference is FIFO *tie order* in a
+corner case CAPFOREST cannot reach (popped vertices are visited and never
+relaxed again): a vertex re-inserted after a pop, at a key whose bucket
+still holds one of its stale entries, resumes that entry's queue position
+instead of the back.
 """
 
 from __future__ import annotations
 
+from collections import deque
+from itertools import repeat
+
+import numpy as np
+
 from .pq import PQStats
 
 _ABSENT = -1
-_NIL = -2  # list terminator, distinct from "absent"
 
 
 class _BucketPQBase:
     """Common machinery; subclasses choose which end of the top bucket to pop."""
 
-    __slots__ = ("_n", "_bound", "_key", "_next", "_prev", "_head", "_tail", "_top", "_size", "stats")
+    __slots__ = ("_n", "_bound", "_key", "_buckets", "_top", "_size", "stats")
 
     def __init__(self, n: int, bound: int) -> None:
         if n < 0:
@@ -45,38 +59,13 @@ class _BucketPQBase:
             raise ValueError(f"bound must be non-negative, got {bound}")
         self._n = n
         self._bound = int(bound)
-        # _key[v] == _ABSENT  <=>  v is not in the queue
+        # _key[v] == _ABSENT  <=>  v is not in the queue; otherwise v's
+        # newest entry sits in bucket _key[v] and older entries are stale
         self._key = [_ABSENT] * n
-        self._next = [_NIL] * n
-        self._prev = [_NIL] * n
-        self._head = [_NIL] * (self._bound + 1)
-        self._tail = [_NIL] * (self._bound + 1)
+        self._buckets: list[deque | None] = [None] * (self._bound + 1)
         self._top = -1
         self._size = 0
         self.stats = PQStats()
-
-    # -- intrusive doubly-linked bucket list -------------------------------
-
-    def _bucket_push_back(self, v: int, b: int) -> None:
-        tail = self._tail[b]
-        self._prev[v] = tail
-        self._next[v] = _NIL
-        if tail == _NIL:
-            self._head[b] = v
-        else:
-            self._next[tail] = v
-        self._tail[b] = v
-
-    def _bucket_remove(self, v: int, b: int) -> None:
-        nxt, prv = self._next[v], self._prev[v]
-        if prv == _NIL:
-            self._head[b] = nxt
-        else:
-            self._next[prv] = nxt
-        if nxt == _NIL:
-            self._tail[b] = prv
-        else:
-            self._prev[nxt] = prv
 
     # -- public interface ---------------------------------------------------
 
@@ -92,7 +81,10 @@ class _BucketPQBase:
         new = priority if priority < bound else bound
         if cur == _ABSENT:
             self._key[v] = new
-            self._bucket_push_back(v, new)
+            dq = self._buckets[new]
+            if dq is None:
+                dq = self._buckets[new] = deque()
+            dq.append(v)
             self._size += 1
             if new > self._top:
                 self._top = new
@@ -104,30 +96,21 @@ class _BucketPQBase:
             return
         if new <= cur:
             return
-        self._bucket_remove(v, cur)
-        self._key[v] = new
-        self._bucket_push_back(v, new)
+        self._key[v] = new  # the entry in bucket ``cur`` goes stale
+        dq = self._buckets[new]
+        if dq is None:
+            dq = self._buckets[new] = deque()
+        dq.append(v)
         if new > self._top:
             self._top = new
         self.stats.updates += 1
 
-    def _pop_from(self, b: int) -> int:  # pragma: no cover - abstract
+    def pop_max(self) -> tuple[int, int]:  # pragma: no cover - abstract
         raise NotImplementedError
 
-    def pop_max(self) -> tuple[int, int]:
-        if self._size == 0:
-            raise IndexError("pop from empty priority queue")
-        head = self._head
-        top = self._top
-        while head[top] == _NIL:
-            top -= 1
-        self._top = top
-        v = self._pop_from(top)
-        self._bucket_remove(v, top)
-        self._key[v] = _ABSENT
-        self._size -= 1
-        self.stats.pops += 1
-        return v, top
+    def top_key(self) -> int:  # pragma: no cover - abstract
+        """Key of the current maximum without popping it (-1 if empty)."""
+        raise NotImplementedError
 
     def key_of(self, v: int) -> int:
         """Current key of ``v``; raises KeyError if absent."""
@@ -135,6 +118,105 @@ class _BucketPQBase:
         if k == _ABSENT:
             raise KeyError(v)
         return k
+
+    # -- batch interface (vector CAPFOREST kernel) --------------------------
+
+    def apply_relaxations(
+        self,
+        vs: np.ndarray,
+        old_keys: np.ndarray | None,
+        new_keys: np.ndarray,
+        *,
+        n_pushes: int | None = None,
+    ) -> None:
+        """Bulk-apply precomputed insert-or-raise outcomes, in event order.
+
+        ``old_keys[i] == -1`` means ``vs[i]`` is absent (a push); any other
+        value marks a raise (lazy deletion makes the old bucket itself
+        irrelevant).  A caller that already knows how many of the vertices
+        are pushes may pass ``n_pushes`` (and ``old_keys=None``) to skip the
+        counting pass.  Vertices must be distinct.  Stats are *not* touched:
+        the vector kernel accounts for every logical event itself —
+        including the intermediate moves this bulk form elides (a vertex
+        raised several times in one batch is appended once, to its final
+        bucket) — so its counters stay identical to the scalar kernel's.
+        """
+        key = self._key
+        buckets = self._buckets
+        vs = np.asarray(vs, dtype=np.int64)
+        new_keys = np.asarray(new_keys, dtype=np.int64)
+        vs_l = vs.tolist()
+        nk_l = new_keys.tolist()
+        # bulk scatter into the key list at C speed (consume the map fully)
+        deque(map(key.__setitem__, vs_l, nk_l), maxlen=0)
+        if n_pushes is None:
+            n_pushes = int((np.asarray(old_keys) < 0).sum())
+        self._size += n_pushes
+        if not vs_l:
+            return
+        lo_k = int(new_keys.min())
+        hi_k = int(new_keys.max())
+        if lo_k == hi_k:
+            # single destination bucket (at the priority clamp this is the
+            # overwhelmingly common batch): one extend, no sorting at all
+            dq = buckets[hi_k]
+            if dq is None:
+                dq = buckets[hi_k] = deque()
+            dq.extend(vs_l)
+        else:
+            # group appends by destination bucket; the stable sort preserves
+            # event order within each bucket, so FIFO/LIFO order is exact
+            # (narrowed to int16 when the bound allows: numpy's stable sort
+            # is then a radix sort, an order of magnitude faster)
+            sort_keys = new_keys
+            if self._bound <= 32767:
+                sort_keys = new_keys.astype(np.int16, copy=False)
+            order = np.argsort(sort_keys, kind="stable")
+            nk_s = new_keys[order]
+            vs_l = vs[order].tolist()
+            starts = np.flatnonzero(np.diff(nk_s)) + 1
+            bounds = [0, *starts.tolist(), len(vs_l)]
+            # destination keys as plain ints up front: the loop below then
+            # runs on list slices only (no numpy scalars per bucket)
+            group_keys = nk_s[np.concatenate(([0], starts))].tolist()
+            for i, b in enumerate(group_keys):
+                dq = buckets[b]
+                if dq is None:
+                    dq = buckets[b] = deque()
+                dq.extend(vs_l[bounds[i] : bounds[i + 1]])
+        if hi_k > self._top:
+            self._top = hi_k
+
+    def insert_many(self, vs: np.ndarray, priorities: np.ndarray) -> None:
+        """Vectorized :meth:`insert_or_raise` over distinct vertices.
+
+        Equivalent to calling the scalar method once per position, in array
+        order (so FIFO/LIFO tie-breaking is preserved bit-for-bit), but the
+        no-op majority — vertices already at the bound, or not actually
+        raised — is filtered with array expressions before any bucket
+        appends happen.
+        """
+        vs = np.asarray(vs, dtype=np.int64)
+        priorities = np.asarray(priorities, dtype=np.int64)
+        if vs.size == 0:
+            return
+        bound = self._bound
+        cur = np.fromiter(map(self._key.__getitem__, vs.tolist()), dtype=np.int64, count=len(vs))
+        new = np.minimum(priorities, bound)
+        push = cur == _ABSENT
+        skip = (~push) & (cur >= bound)
+        raise_ = (~push) & (~skip) & (new > cur)
+        st = self.stats
+        st.pushes += int(push.sum())
+        st.skipped_updates += int(skip.sum())
+        st.updates += int(raise_.sum())
+        moved = push | raise_
+        if moved.any():
+            old = np.where(push, -1, cur)
+            self.apply_relaxations(vs[moved], old[moved], new[moved])
+
+    # paper-facing alias: CAPFOREST priorities only ever increase
+    increase_many = insert_many
 
     def __len__(self) -> int:
         return self._size
@@ -148,8 +230,41 @@ class BStackPQ(_BucketPQBase):
 
     __slots__ = ()
 
-    def _pop_from(self, b: int) -> int:
-        return self._tail[b]
+    def pop_max(self) -> tuple[int, int]:
+        if self._size == 0:
+            raise IndexError("pop from empty priority queue")
+        key = self._key
+        buckets = self._buckets
+        b = self._top
+        while True:
+            dq = buckets[b]
+            if dq:
+                v = dq.pop()
+                if key[v] == b:
+                    break
+            else:
+                b -= 1
+        self._top = b
+        key[v] = _ABSENT
+        self._size -= 1
+        self.stats.pops += 1
+        return v, b
+
+    def top_key(self) -> int:
+        if self._size == 0:
+            return -1
+        key = self._key
+        buckets = self._buckets
+        b = self._top
+        while True:
+            dq = buckets[b]
+            if dq:
+                if key[dq[-1]] == b:
+                    self._top = b
+                    return b
+                dq.pop()
+            else:
+                b -= 1
 
 
 class BQueuePQ(_BucketPQBase):
@@ -157,5 +272,247 @@ class BQueuePQ(_BucketPQBase):
 
     __slots__ = ()
 
-    def _pop_from(self, b: int) -> int:
-        return self._head[b]
+    def pop_max(self) -> tuple[int, int]:
+        if self._size == 0:
+            raise IndexError("pop from empty priority queue")
+        key = self._key
+        buckets = self._buckets
+        b = self._top
+        while True:
+            dq = buckets[b]
+            if dq:
+                v = dq.popleft()
+                if key[v] == b:
+                    break
+            else:
+                b -= 1
+        self._top = b
+        key[v] = _ABSENT
+        self._size -= 1
+        self.stats.pops += 1
+        return v, b
+
+    def top_key(self) -> int:
+        if self._size == 0:
+            return -1
+        key = self._key
+        buckets = self._buckets
+        b = self._top
+        while True:
+            dq = buckets[b]
+            if dq:
+                if key[dq[0]] == b:
+                    self._top = b
+                    return b
+                dq.popleft()
+            else:
+                b -= 1
+
+    def top_may_reach(self, b: int) -> bool:
+        """False guarantees the top key is below ``b`` — without settling.
+
+        ``_top`` only ever overestimates the true top bucket (stale entries
+        are discarded lazily), so this is a constant-time negative filter
+        the vector kernel runs before the real :meth:`top_key` peek.
+        """
+        return self._top >= b
+
+    def top_bucket_len(self) -> int:
+        """Entry count of the top bucket, *including* stale entries.
+
+        A fast upper bound on what :meth:`drain_top_bucket` would return,
+        used by the vector kernel to decide whether draining pays.  At the
+        priority clamp the bound is exact in CAPFOREST use: nothing can be
+        raised out of the bound bucket, so its entries only leave by being
+        popped — which removes them physically.
+        """
+        if self._size == 0:
+            return 0
+        self.top_key()  # discards leading stale entries, settles _top
+        dq = self._buckets[self._top]
+        return len(dq) if dq is not None else 0
+
+    def drain_top_bucket(self) -> list[int]:
+        """Pop *every* element of the top bucket, in FIFO order.
+
+        Exactly equivalent to repeated :meth:`pop_max` while the top bucket
+        lasts, because relaxing a drained vertex can never re-enter a
+        *higher* bucket (keys are clamped to the bound) and FIFO order means
+        later arrivals to this bucket are popped after the current members
+        anyway.  This equivalence is BQueue-specific — BStack pops the most
+        recent arrival, so draining would reorder its scan — which is why
+        the vector kernel's cross-pop batching engages for BQueue only.
+        """
+        if self._size == 0:
+            raise IndexError("pop from empty priority queue")
+        key = self._key
+        buckets = self._buckets
+        b = self._top
+        while True:
+            dq = buckets[b]
+            if dq:
+                if key[dq[0]] == b:
+                    break
+                dq.popleft()
+            else:
+                b -= 1
+        self._top = b
+        # the filter drops stale entries; the C-level map marks the live
+        # ones popped in bulk
+        out = [v for v in dq if key[v] == b]
+        deque(map(key.__setitem__, out, repeat(_ABSENT)), maxlen=0)
+        dq.clear()
+        self._size -= len(out)
+        self.stats.pops += len(out)
+        return out
+
+
+class BQueueArrayPQ(BQueuePQ):
+    """BQueue with the per-vertex key table in an int64 numpy array.
+
+    Scalar operations behave identically to :class:`BQueuePQ` (reads become
+    numpy scalar lookups, a few tens of nanoseconds slower per call), but
+    every batch operation touches the key table in single vectorized passes:
+    :meth:`apply_relaxations` scatters all key updates at once and
+    :meth:`drain_top_bucket` filters staleness with one gather + compare.
+    This is the backing the vector CAPFOREST kernel selects — its pops are
+    overwhelmingly batched, so it trades the scalar-read penalty (paid a few
+    thousand times) for array-speed batches (covering nearly every vertex).
+    The scalar kernel keeps the plain-list variant, whose per-call costs are
+    lower on its all-scalar operation mix.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, n: int, bound: int) -> None:
+        super().__init__(n, bound)
+        self._key = np.full(n, _ABSENT, dtype=np.int64)
+
+    def key_of(self, v: int) -> int:
+        k = self._key[v]
+        if k == _ABSENT:
+            raise KeyError(v)
+        return int(k)
+
+    def insert_or_raise(self, v: int, priority: int) -> None:
+        # same logic as the base method, but the key is materialised as a
+        # Python int once — every later comparison then runs on C ints
+        # instead of numpy scalars (~3x cheaper per call on this path)
+        if priority < 0:
+            raise ValueError(f"priority must be non-negative, got {priority}")
+        bound = self._bound
+        cur = int(self._key[v])
+        new = priority if priority < bound else bound
+        if cur == _ABSENT:
+            self._key[v] = new
+            dq = self._buckets[new]
+            if dq is None:
+                dq = self._buckets[new] = deque()
+            dq.append(v)
+            self._size += 1
+            if new > self._top:
+                self._top = new
+            self.stats.pushes += 1
+            return
+        if cur >= bound:
+            self.stats.skipped_updates += 1
+            return
+        if new <= cur:
+            return
+        self._key[v] = new
+        dq = self._buckets[new]
+        if dq is None:
+            dq = self._buckets[new] = deque()
+        dq.append(v)
+        if new > self._top:
+            self._top = new
+        self.stats.updates += 1
+
+    def apply_relaxations(
+        self,
+        vs: np.ndarray,
+        old_keys: np.ndarray | None,
+        new_keys: np.ndarray,
+        *,
+        n_pushes: int | None = None,
+    ) -> None:
+        vs = np.asarray(vs, dtype=np.int64)
+        new_keys = np.asarray(new_keys, dtype=np.int64)
+        key = self._key
+        key[vs] = new_keys  # one scatter replaces the per-vertex write loop
+        if n_pushes is None:
+            n_pushes = int((np.asarray(old_keys) < 0).sum())
+        self._size += n_pushes
+        if not len(vs):
+            return
+        buckets = self._buckets
+        lo_k = int(new_keys.min())
+        hi_k = int(new_keys.max())
+        if lo_k == hi_k:
+            dq = buckets[hi_k]
+            if dq is None:
+                dq = buckets[hi_k] = deque()
+            dq.extend(vs.tolist())
+        else:
+            sort_keys = new_keys
+            if self._bound <= 32767:
+                sort_keys = new_keys.astype(np.int16, copy=False)
+            order = np.argsort(sort_keys, kind="stable")
+            nk_s = new_keys[order]
+            vs_l = vs[order].tolist()
+            starts = np.flatnonzero(np.diff(nk_s)) + 1
+            bounds = [0, *starts.tolist(), len(vs_l)]
+            group_keys = nk_s[np.concatenate(([0], starts))].tolist()
+            for i, b in enumerate(group_keys):
+                dq = buckets[b]
+                if dq is None:
+                    dq = buckets[b] = deque()
+                dq.extend(vs_l[bounds[i] : bounds[i + 1]])
+        if hi_k > self._top:
+            self._top = hi_k
+
+    def insert_many(self, vs: np.ndarray, priorities: np.ndarray) -> None:
+        vs = np.asarray(vs, dtype=np.int64)
+        priorities = np.asarray(priorities, dtype=np.int64)
+        if vs.size == 0:
+            return
+        bound = self._bound
+        cur = self._key[vs]  # one gather replaces the per-vertex read loop
+        new = np.minimum(priorities, bound)
+        push = cur == _ABSENT
+        skip = (~push) & (cur >= bound)
+        raise_ = (~push) & (~skip) & (new > cur)
+        st = self.stats
+        st.pushes += int(push.sum())
+        st.skipped_updates += int(skip.sum())
+        st.updates += int(raise_.sum())
+        moved = push | raise_
+        if moved.any():
+            old = np.where(push, -1, cur)
+            self.apply_relaxations(vs[moved], old[moved], new[moved])
+
+    increase_many = insert_many
+
+    def drain_top_bucket(self) -> list[int]:
+        if self._size == 0:
+            raise IndexError("pop from empty priority queue")
+        key = self._key
+        buckets = self._buckets
+        b = self._top
+        while True:
+            dq = buckets[b]
+            if dq:
+                if key[dq[0]] == b:
+                    break
+                dq.popleft()
+            else:
+                b -= 1
+        self._top = b
+        arr = np.array(dq, dtype=np.int64)
+        live = arr[key[arr] == b]
+        key[live] = _ABSENT  # marks popped and drops stale entries in bulk
+        out = live.tolist()
+        dq.clear()
+        self._size -= len(out)
+        self.stats.pops += len(out)
+        return out

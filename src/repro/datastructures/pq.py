@@ -78,7 +78,9 @@ class MaxPriorityQueue(Protocol):
 PQ_NAMES = ("bstack", "bqueue", "heap")
 
 
-def make_pq(kind: str, n: int, bound: int | None = None) -> MaxPriorityQueue:
+def make_pq(
+    kind: str, n: int, bound: int | None = None, *, array_keys: bool = False
+) -> MaxPriorityQueue:
     """Create a priority queue by name.
 
     Parameters
@@ -91,9 +93,15 @@ def make_pq(kind: str, n: int, bound: int | None = None) -> MaxPriorityQueue:
         Priority clamp ``λ̂`` (``None`` = unbounded).  Bucket queues *require*
         a bound, since they allocate one bucket per possible key; asking for
         an unbounded bucket queue raises ``ValueError``.
+    array_keys:
+        For ``"bqueue"``: back the key table with an int64 numpy array so
+        the batch operations run as single vectorized passes — the variant
+        the vector CAPFOREST kernel uses.  Observationally identical to the
+        list-backed queue; ignored for the other kinds, whose operation mix
+        is scalar-dominated.
     """
     from .binary_heap import HeapPQ
-    from .bucket_pq import BQueuePQ, BStackPQ
+    from .bucket_pq import BQueueArrayPQ, BQueuePQ, BStackPQ
 
     if kind == "heap":
         return HeapPQ(n, bound=bound)
@@ -104,5 +112,5 @@ def make_pq(kind: str, n: int, bound: int | None = None) -> MaxPriorityQueue:
     if kind == "bqueue":
         if bound is None:
             raise ValueError("bucket queues require a bound (λ̂)")
-        return BQueuePQ(n, bound=bound)
+        return (BQueueArrayPQ if array_keys else BQueuePQ)(n, bound=bound)
     raise ValueError(f"unknown priority queue kind {kind!r}; expected one of {PQ_NAMES}")

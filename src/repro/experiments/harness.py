@@ -28,12 +28,17 @@ def _seeded(rng_seed: int) -> np.random.Generator:
     return np.random.default_rng(rng_seed)
 
 
-def make_sequential_variants() -> dict[str, Callable[[Graph, int], MinCutResult]]:
+def make_sequential_variants(
+    kernel: str = "scalar",
+) -> dict[str, Callable[[Graph, int], MinCutResult]]:
     """The paper's sequential line-up, keyed by its variant names.
 
     ``HO-CGKLS`` / ``NOI-CGKLS`` are the Chekuri et al. codes; our stand-ins
     are the same algorithms (flow-based Hao–Orlin; NOI with an unbounded
-    heap and no VieCut seed) — see DESIGN.md.
+    heap and no VieCut seed) — see DESIGN.md.  ``kernel`` selects the
+    CAPFOREST relaxation kernel for every NOI variant (results are
+    identical either way, so the cross-variant agreement check still holds
+    when timing the two kernels against each other).
     """
 
     def ho(graph: Graph, seed: int) -> MinCutResult:
@@ -42,14 +47,17 @@ def make_sequential_variants() -> dict[str, Callable[[Graph, int], MinCutResult]
         return hao_orlin(graph, compute_side=False)
 
     def noi_cgkls(graph: Graph, seed: int) -> MinCutResult:
-        return noi_mincut(graph, pq_kind="heap", bounded=False, rng=_seeded(seed), compute_side=False)
+        return noi_mincut(graph, pq_kind="heap", bounded=False, rng=_seeded(seed),
+                          compute_side=False, kernel=kernel)
 
     def noi_hnss(graph: Graph, seed: int) -> MinCutResult:
-        return noi_mincut(graph, pq_kind="heap", bounded=False, rng=_seeded(seed), compute_side=False)
+        return noi_mincut(graph, pq_kind="heap", bounded=False, rng=_seeded(seed),
+                          compute_side=False, kernel=kernel)
 
     def bounded(pq: str) -> Callable[[Graph, int], MinCutResult]:
         def run(graph: Graph, seed: int) -> MinCutResult:
-            return noi_mincut(graph, pq_kind=pq, bounded=True, rng=_seeded(seed), compute_side=False)
+            return noi_mincut(graph, pq_kind=pq, bounded=True, rng=_seeded(seed),
+                              compute_side=False, kernel=kernel)
 
         return run
 
@@ -66,6 +74,7 @@ def make_sequential_variants() -> dict[str, Callable[[Graph, int], MinCutResult]
                 initial_bound=seed_cut.value,
                 rng=rng,
                 compute_side=False,
+                kernel=kernel,
             )
 
         return run
@@ -83,7 +92,7 @@ def make_sequential_variants() -> dict[str, Callable[[Graph, int], MinCutResult]
 
 
 def make_parallel_variants(
-    workers: int, executor: str = "serial"
+    workers: int, executor: str = "serial", kernel: str = "scalar"
 ) -> dict[str, Callable[[Graph, int], MinCutResult]]:
     """ParCutλ̂-{BStack, BQueue, Heap} at a given worker count."""
 
@@ -94,6 +103,7 @@ def make_parallel_variants(
                 workers=workers,
                 pq_kind=pq,
                 executor=executor,
+                kernel=kernel,
                 use_viecut=True,
                 rng=_seeded(seed),
                 compute_side=False,

@@ -22,6 +22,7 @@ from .properties import (
 )
 from .io import read_edge_list, read_metis, write_edge_list, write_metis
 from .kcore import core_numbers, degeneracy, k_core, k_core_largest_component
+from .shm import SharedBytes, SharedGraph, SharedPairsBuffer
 from .validate import (
     GraphInvariantError,
     GraphValidationError,
@@ -61,6 +62,9 @@ __all__ = [
     "degeneracy",
     "k_core",
     "k_core_largest_component",
+    "SharedBytes",
+    "SharedGraph",
+    "SharedPairsBuffer",
     "GraphInvariantError",
     "GraphValidationError",
     "check_graph",

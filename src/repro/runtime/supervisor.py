@@ -79,16 +79,19 @@ def _validate_payload(payload, n: int, n_workers: int) -> tuple[int, list, dict]
 
     Merging is a sequence of union–find unions, so the only way a bad
     payload can poison the result is through its pair list — every pair
-    must be a valid vertex pair.  The report dict only feeds statistics,
-    but its fields are type-checked too so a mangled payload cannot crash
-    the coordinator later.
+    must be a valid vertex pair.  ``pairs`` may be ``None``: the sentinel
+    meaning the pairs travelled through the shared-memory return buffer
+    instead of the queue (the coordinator range-checks that buffer row
+    itself before merging).  The report dict only feeds statistics, but
+    its fields are type-checked too so a mangled payload cannot crash the
+    coordinator later.
     """
     if not isinstance(payload, tuple) or len(payload) != 3:
         raise ValueError(f"malformed payload (expected 3-tuple, got {type(payload).__name__})")
     worker_id, pairs, rep = payload
     if not isinstance(worker_id, int) or not (0 <= worker_id < n_workers):
         raise ValueError(f"worker id {worker_id!r} out of range")
-    for pair in pairs:
+    for pair in pairs if pairs is not None else ():
         if len(pair) != 2:
             raise ValueError(f"worker {worker_id}: malformed pair {pair!r}")
         u, v = pair

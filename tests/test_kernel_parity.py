@@ -1,0 +1,131 @@
+"""Property test: the scalar and vector CAPFOREST kernels are interchangeable.
+
+The vector kernel is only admissible as a *kernel registry* entry because it
+is observationally identical to the scalar reference — same λ̂, same marked
+partition, same priority-queue operation counts — on every configuration.
+These tests check that equivalence on random GNM and RMAT instances, for the
+sequential kernel, the full NOI/ParCut drivers, and the serial-executor
+parallel pass (whose round-robin pop interleaving makes worker-level parity
+deterministic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.capforest import KERNELS, capforest, check_kernel
+from repro.core.mincut import parallel_mincut
+from repro.core.noi import noi_mincut
+from repro.core.parallel_capforest import parallel_capforest
+from repro.generators.gnm import connected_gnm, gnm
+from repro.generators.rmat import rmat
+
+
+def _instances():
+    for seed in range(6):
+        r = np.random.default_rng(seed)
+        n = int(r.integers(2, 120))
+        m = int(r.integers(0, min(n * (n - 1) // 2, 4 * n) + 1))
+        yield f"gnm-{seed}", gnm(n, m, rng=seed, weights=None if seed % 2 else (1, 9))
+    yield "rmat", rmat(8, 1500, rng=3)
+    yield "gnm-dense", connected_gnm(150, 2000, rng=9, weights=(1, 100))
+
+
+def test_kernel_registry():
+    assert KERNELS == ("scalar", "vector")
+    assert check_kernel("vector") == "vector"
+    with pytest.raises(ValueError, match="unknown kernel"):
+        check_kernel("simd")
+    with pytest.raises(ValueError, match="unknown kernel"):
+        capforest(gnm(4, 3, rng=0), 1, kernel="simd")
+    with pytest.raises(ValueError, match="unknown kernel"):
+        parallel_capforest(gnm(4, 3, rng=0), 1, kernel="simd")
+
+
+@pytest.mark.parametrize("pq_kind", ["bqueue", "bstack", "heap"])
+def test_sequential_kernels_identical(pq_kind):
+    for name, g in _instances():
+        lam = g.min_weighted_degree()[1] if g.n else 0
+        runs = {
+            kern: capforest(g, lam, pq_kind=pq_kind, rng=11, kernel=kern)
+            for kern in KERNELS
+        }
+        a, b = runs["scalar"], runs["vector"]
+        assert a.lambda_hat == b.lambda_hat, name
+        assert a.n_marked == b.n_marked, name
+        assert a.min_alpha == b.min_alpha, name
+        assert a.scan_order == b.scan_order, name
+        # pop counts (and every other PQ counter) must match event-for-event
+        assert a.pq_stats.as_dict() == b.pq_stats.as_dict(), name
+        # identical union–find partitions: same labels, same block count
+        assert np.array_equal(a.uf.labels(), b.uf.labels()), name
+
+
+def test_sequential_kernels_identical_fixed_bound():
+    g = connected_gnm(120, 700, rng=2, weights=(1, 9))
+    lam = g.min_weighted_degree()[1]
+    a = capforest(g, lam, pq_kind="bqueue", rng=5, fixed_bound=True, kernel="scalar")
+    b = capforest(g, lam, pq_kind="bqueue", rng=5, fixed_bound=True, kernel="vector")
+    assert a.lambda_hat == b.lambda_hat == lam
+    assert a.scan_order == b.scan_order
+    assert a.pq_stats.as_dict() == b.pq_stats.as_dict()
+    assert np.array_equal(a.uf.labels(), b.uf.labels())
+
+
+@pytest.mark.parametrize("pq_kind", ["bqueue", "bstack"])
+def test_parallel_serial_executor_kernels_identical(pq_kind):
+    """Serial-executor parity: per-pop vectorization must not change the
+    deterministic round-robin interleaving, so every worker-level counter
+    and the merged partition agree bit-for-bit."""
+    for name, g in [("a", connected_gnm(200, 900, rng=1, weights=(1, 9))),
+                    ("b", connected_gnm(80, 200, rng=4)),
+                    ("c", rmat(8, 1200, rng=7))]:
+        lam = g.min_weighted_degree()[1]
+        runs = {
+            kern: parallel_capforest(
+                g, lam, workers=4, pq_kind=pq_kind, executor="serial", rng=13, kernel=kern
+            )
+            for kern in KERNELS
+        }
+        a, b = runs["scalar"], runs["vector"]
+        assert a.lambda_hat == b.lambda_hat, name
+        assert a.n_marked == b.n_marked, name
+        assert np.array_equal(a.uf.labels(), b.uf.labels()), name
+        for wa, wb in zip(a.workers, b.workers):
+            assert wa.start_vertex == wb.start_vertex, name
+            assert wa.vertices_scanned == wb.vertices_scanned, name
+            assert wa.edges_scanned == wb.edges_scanned, name
+            assert wa.blacklisted == wb.blacklisted, name
+            assert wa.best_alpha == wb.best_alpha, name
+            assert wa.best_prefix == wb.best_prefix, name
+            assert wa.pq_stats.as_dict() == wb.pq_stats.as_dict(), name
+
+
+def test_noi_driver_kernels_identical():
+    for name, g in _instances():
+        if g.n < 2:
+            continue
+        vals = {
+            kern: noi_mincut(g, pq_kind="bqueue", rng=3, kernel=kern)
+            for kern in KERNELS
+        }
+        a, b = vals["scalar"], vals["vector"]
+        assert a.value == b.value, name
+        assert a.stats["rounds"] == b.stats["rounds"], name
+        assert a.stats["pq_pops"] == b.stats["pq_pops"], name
+        if a.side is not None:
+            assert np.array_equal(a.side, b.side), name
+
+
+def test_parcut_driver_kernels_identical():
+    g = connected_gnm(150, 600, rng=6, weights=(1, 9))
+    runs = {
+        kern: parallel_mincut(g, workers=3, executor="serial", rng=8, kernel=kern)
+        for kern in KERNELS
+    }
+    a, b = runs["scalar"], runs["vector"]
+    assert a.value == b.value
+    assert a.stats["rounds"] == b.stats["rounds"]
+    assert a.stats["pq_pops"] == b.stats["pq_pops"]
+    assert a.stats["total_work"] == b.stats["total_work"]
