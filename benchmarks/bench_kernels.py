@@ -27,6 +27,7 @@ import pytest
 from repro.core.capforest import KERNELS, capforest
 from repro.core.parallel_capforest import parallel_capforest
 from repro.generators.gnm import connected_gnm
+from repro.observability import BENCH_SCHEMA_VERSION, validate_bench_payload
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_parcut.json"
 
@@ -124,6 +125,7 @@ def test_record_kernel_trajectory(kernel_graph):
     for kern in KERNELS:
         best = min(samples[kern], key=lambda s: s["wall_s"])
         records.append({
+            "variant": "capforest",
             "graph": GRAPH_NAME,
             "kernel": kern,
             "executor": "sequential",
@@ -135,6 +137,7 @@ def test_record_kernel_trajectory(kernel_graph):
         })
 
     payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "capforest-kernels",
         "graph": {"name": GRAPH_NAME, **{k: v for k, v in GRAPH_SPEC.items()}},
         "pairs": PAIRS,
@@ -142,6 +145,7 @@ def test_record_kernel_trajectory(kernel_graph):
         "vector_over_scalar_speedup_per_pair": [round(r, 3) for r in ratios],
         "records": records,
     }
+    validate_bench_payload(payload)
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     # sanity floor, deliberately below the paired-median headline so shared

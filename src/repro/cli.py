@@ -11,6 +11,7 @@ Examples::
     repro-mincut --format edgelist --algorithm parcut --workers 8 edges.txt
     repro-mincut --algorithm hao-orlin --print-side graph.metis
     repro-mincut --algorithm parcut --executor processes --timeout 30 graph.metis
+    repro-mincut --algorithm parcut --trace trace.jsonl --metrics-json m.json graph.metis
 
 Exit codes are distinct per failure mode so scripted callers can branch:
 ``0`` success, ``2`` invalid input or usage, ``3`` worker/solver timeout,
@@ -21,10 +22,11 @@ Exit codes are distinct per failure mode so scripted callers can branch:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from .core.api import ALGORITHMS, minimum_cut
+from .core.api import ALGORITHMS, TRACEABLE_ALGORITHMS, minimum_cut
 from .graph.io import read_edge_list, read_metis
 from .runtime.errors import (
     ExecutorUnavailable,
@@ -101,6 +103,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ap.add_argument("--print-side", action="store_true", help="print the smaller cut side")
     ap.add_argument("--stats", action="store_true", help="print solver statistics")
+    ap.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSONL event trace (round spans, λ̂ updates "
+        "with provenance, worker/degradation events) to PATH; only the "
+        f"traceable algorithms support it: {', '.join(TRACEABLE_ALGORITHMS)}",
+    )
+    ap.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="write a machine-readable metrics document (schema_version, "
+        "value, seconds, full solver stats, trace summary) to PATH",
+    )
     return ap
 
 
@@ -127,14 +144,36 @@ def main(argv: list[str] | None = None) -> int:
     if args.on_worker_failure is not None:
         kwargs["on_worker_failure"] = args.on_worker_failure
 
+    tracer = None
+    if args.trace is not None or args.metrics_json is not None:
+        if args.algorithm not in TRACEABLE_ALGORITHMS:
+            print(
+                f"error: --trace/--metrics-json require a traceable algorithm "
+                f"({', '.join(TRACEABLE_ALGORITHMS)}), not {args.algorithm!r}",
+                file=sys.stderr,
+            )
+            return EXIT_INVALID_INPUT
+        from .observability import Tracer
+
+        try:
+            tracer = Tracer(sink=args.trace)
+        except OSError as exc:
+            print(f"error opening trace sink {args.trace}: {exc}", file=sys.stderr)
+            return EXIT_INVALID_INPUT
+        kwargs["tracer"] = tracer
+
     t0 = time.perf_counter()
     try:
         result = minimum_cut(graph, algorithm=args.algorithm, **kwargs)
     except RuntimeFault as exc:
         print(f"error: {exc}", file=sys.stderr)
+        if tracer is not None:
+            tracer.close()
         return exit_code_for(exc)
     except (TypeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
+        if tracer is not None:
+            tracer.close()
         return EXIT_INVALID_INPUT
     elapsed = time.perf_counter() - t0
 
@@ -150,6 +189,30 @@ def main(argv: list[str] | None = None) -> int:
     if args.stats:
         for key, value in sorted(result.stats.items()):
             print(f"stat      {key}={value}")
+
+    if tracer is not None:
+        tracer.close()
+        if args.metrics_json is not None:
+            from .observability import STATS_SCHEMA_VERSION, jsonable
+
+            metrics = {
+                "schema_version": STATS_SCHEMA_VERSION,
+                "algorithm": result.algorithm,
+                "instance": args.path,
+                "n": graph.n,
+                "m": graph.m,
+                "value": result.value,
+                "seconds": round(elapsed, 6),
+                "stats": result.stats,
+                "trace_summary": tracer.summary(),
+            }
+            try:
+                with open(args.metrics_json, "w", encoding="utf-8") as fh:
+                    json.dump(metrics, fh, indent=2, default=jsonable)
+                    fh.write("\n")
+            except OSError as exc:
+                print(f"error writing {args.metrics_json}: {exc}", file=sys.stderr)
+                return EXIT_INVALID_INPUT
     return EXIT_OK
 
 

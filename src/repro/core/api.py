@@ -63,7 +63,7 @@ def _noi_viecut(graph: Graph, **kw) -> MinCutResult:
     if isinstance(rng, (int, np.integer)) or rng is None:
         rng = np.random.default_rng(rng)
     compute_side = kw.get("compute_side", True)
-    seed = viecut(graph, rng=rng)
+    seed = viecut(graph, rng=rng, tracer=kw.get("tracer"))
     res = noi_mincut(
         graph,
         initial_bound=seed.value,
@@ -127,6 +127,10 @@ ALGORITHMS: dict[str, Callable[..., MinCutResult]] = {
 #: algorithms guaranteed to return the exact minimum cut
 EXACT_ALGORITHMS = ("noi", "noi-hnss", "noi-viecut", "parcut", "stoer-wagner", "hao-orlin")
 
+#: algorithms that accept ``tracer=`` (a :class:`repro.observability.Tracer`)
+#: and emit structured trace events; the CLI's ``--trace`` is limited to these
+TRACEABLE_ALGORITHMS = ("noi", "noi-hnss", "noi-viecut", "parcut", "viecut")
+
 
 def minimum_cut(graph: Graph, algorithm: str = "noi-viecut", **kwargs) -> MinCutResult:
     """Compute a minimum cut of ``graph``.
@@ -153,7 +157,9 @@ def minimum_cut(graph: Graph, algorithm: str = "noi-viecut", **kwargs) -> MinCut
         degrades ``processes → threads → serial``
         (``stats["degradations"]``) unless ``on_worker_failure="fail"``,
         in which case a :class:`repro.runtime.RuntimeFault` subclass is
-        raised.
+        raised.  Algorithms in :data:`TRACEABLE_ALGORITHMS` additionally
+        accept ``tracer=`` (a :class:`repro.observability.Tracer`) and
+        emit structured span/λ̂-provenance events.
 
     Returns
     -------

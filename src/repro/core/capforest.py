@@ -131,6 +131,7 @@ def capforest(
     record_certificates: bool = False,
     fixed_bound: bool = False,
     kernel: str = "scalar",
+    tracer=None,
 ) -> CapforestResult:
     """Run one sequential CAPFOREST pass.
 
@@ -168,6 +169,11 @@ def capforest(
         ``"scalar"`` (reference, one Python iteration per arc) or
         ``"vector"`` (batched numpy relaxation; identical results — see
         module docstring).
+    tracer:
+        Optional :class:`repro.observability.Tracer`.  One
+        ``capforest_pass`` event is emitted per call — *pass* granularity,
+        after the scan completes, so the relaxation hot loop never sees
+        the tracer and a ``tracer=None`` run does zero added per-edge work.
 
     Notes
     -----
@@ -201,7 +207,7 @@ def capforest(
         pq = make_pq("heap", n, bound=None)
 
     run = _capforest_vector if kernel == "vector" else _capforest_scalar
-    return run(
+    res = run(
         graph,
         lambda_hat,
         uf,
@@ -212,6 +218,20 @@ def capforest(
         record_certificates=record_certificates,
         fixed_bound=fixed_bound,
     )
+    if tracer is not None:
+        tracer.emit(
+            "capforest_pass",
+            n=n,
+            pq_kind=effective_kind,
+            bounded=bounded,
+            kernel=kernel,
+            lambda_in=int(lambda_hat),
+            lambda_out=int(res.lambda_hat),
+            marked=res.n_marked,
+            edges_scanned=res.edges_scanned,
+            vertices_scanned=res.vertices_scanned,
+        )
+    return res
 
 
 def _capforest_scalar(

@@ -46,6 +46,7 @@ def noi_mincut(
     compute_side: bool = True,
     sparsify: bool = False,
     trace: bool = False,
+    tracer=None,
 ) -> MinCutResult:
     """Exact minimum cut of ``graph``.
 
@@ -78,6 +79,11 @@ def noi_mincut(
         Record a per-round log in ``result.stats["trace"]``: graph size,
         current λ̂, marks, and fallback usage per contraction round — the
         solver's execution narrative, for debugging and teaching.
+    tracer:
+        Optional :class:`repro.observability.Tracer` receiving structured
+        round / λ̂-provenance events (round granularity; ``None`` adds no
+        per-edge work).  Orthogonal to ``trace``, which keeps its
+        in-stats round log for backwards compatibility.
 
     Returns
     -------
@@ -100,13 +106,24 @@ def noi_mincut(
         "pq_pops": 0,
         "edges_scanned": 0,
         "vertices_scanned": 0,
+        "pq_kind": pq_kind,
+        "bounded": bounded,
+        "kernel": kernel,
     }
     algo = _variant_name(pq_kind, bounded, initial_bound is not None)
+    if tracer is not None:
+        tracer.emit(
+            "solve_start", algorithm=algo, n=n, m=graph.m,
+            pq_kind=pq_kind, bounded=bounded, kernel=kernel,
+        )
 
     # Disconnected graphs have minimum cut 0: one component versus the rest.
     ncomp, comp_labels = connected_components(graph)
     if ncomp > 1:
         side = comp_labels == 0 if compute_side else None
+        if tracer is not None:
+            tracer.lambda_update(0, "disconnected", components=ncomp)
+            tracer.emit("solve_end", value=0, rounds=0)
         return MinCutResult(0, side, n, algo, stats)
 
     # Initial bound: trivial cut of the minimum-weighted-degree vertex,
@@ -117,12 +134,16 @@ def noi_mincut(
     if compute_side:
         best_side = np.zeros(n, dtype=bool)
         best_side[v0] = True
+    if tracer is not None:
+        tracer.lambda_update(best_value, "min-degree", vertex=int(v0))
     if initial_bound is not None:
         if initial_bound < 0:
             raise ValueError("initial_bound must be non-negative")
         if initial_bound < best_value:
             best_value = initial_bound
             best_side = initial_side.copy() if (compute_side and initial_side is not None) else None
+            if tracer is not None:
+                tracer.lambda_update(best_value, "viecut")
 
     lam = best_value
     labels = np.arange(n, dtype=np.int64)  # original vertex -> current supervertex
@@ -141,7 +162,15 @@ def noi_mincut(
 
     while g.n > 2 and lam > 0:
         round_n, round_m, lam_in = g.n, g.m, lam
-        res = capforest(g, lam, pq_kind=pq_kind, bounded=bounded, rng=rng, kernel=kernel)
+        if tracer is not None:
+            tracer.emit(
+                "round_start", round=stats["rounds"] + 1, n=round_n, m=round_m,
+                lambda_hat=lam_in,
+            )
+        res = capforest(
+            g, lam, pq_kind=pq_kind, bounded=bounded, rng=rng, kernel=kernel,
+            tracer=tracer,
+        )
         stats["rounds"] += 1
         _absorb(stats, res)
         uf = res.uf
@@ -151,11 +180,16 @@ def noi_mincut(
             if compute_side:
                 mask = res.best_cut_mask(g.n)
                 best_side = mask[labels] if mask is not None else best_side
+            if tracer is not None:
+                tracer.lambda_update(best_value, "scan-cut", round=stats["rounds"])
         if res.n_marked == 0:
             # Stoer–Wagner phase fallback: one unbounded maximum-adjacency
             # scan; contract its last two vertices (safe, see module doc).
             stats["fallback_rounds"] += 1
-            sw = capforest(g, lam, pq_kind="heap", bounded=False, rng=rng, kernel=kernel)
+            sw = capforest(
+                g, lam, pq_kind="heap", bounded=False, rng=rng, kernel=kernel,
+                tracer=tracer,
+            )
             _absorb(stats, sw)
             if sw.lambda_hat < best_value:
                 best_value = sw.lambda_hat
@@ -163,6 +197,8 @@ def noi_mincut(
                 if compute_side:
                     mask = sw.best_cut_mask(g.n)
                     best_side = mask[labels] if mask is not None else best_side
+                if tracer is not None:
+                    tracer.lambda_update(best_value, "sw-fallback", round=stats["rounds"])
             uf = sw.uf
             order = sw.scan_order
             uf.union(order[-2], order[-1])
@@ -180,6 +216,12 @@ def noi_mincut(
                     "fallback": uf is not res.uf,
                 }
             )
+        if tracer is not None:
+            tracer.emit(
+                "round_end", round=stats["rounds"], n_before=round_n,
+                n_after=g.n, lambda_hat=lam,
+                contraction_ratio=round(round_n / g.n, 6) if g.n else float(round_n),
+            )
         if g.n < 2:
             # every vertex collapsed into one block: all remaining candidate
             # cuts were already recorded before the contraction
@@ -191,8 +233,12 @@ def noi_mincut(
             best_value = d
             if compute_side:
                 best_side = labels == v
+            if tracer is not None:
+                tracer.lambda_update(best_value, "min-degree", vertex=int(v))
         lam = min(lam, d)
 
+    if tracer is not None:
+        tracer.emit("solve_end", value=best_value, rounds=stats["rounds"])
     return MinCutResult(best_value, best_side if compute_side else None, n, algo, stats)
 
 

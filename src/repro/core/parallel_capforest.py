@@ -319,6 +319,7 @@ def parallel_capforest(
     start_method: str | None = None,
     timeout: float | None = None,
     fault_plan: FaultPlan | None = None,
+    tracer=None,
 ) -> ParallelCapforestResult:
     """One parallel CAPFOREST pass over ``graph`` with bound ``λ̂``.
 
@@ -347,6 +348,11 @@ def parallel_capforest(
     dropped (safe, Lemma 3.2(1)) and recorded in ``result.events``; if no
     worker survives, :class:`~repro.runtime.ExecutorUnavailable` is raised
     so callers can degrade to a simpler executor.
+
+    ``tracer`` (optional :class:`repro.observability.Tracer`) receives one
+    ``parallel_pass`` summary, one ``worker_report`` per surviving worker,
+    and a ``worker_event`` per lost worker — all emitted at pass
+    granularity on the coordinator, never inside the scan loops.
     """
     if lambda_hat < 0:
         raise ValueError(f"lambda_hat must be non-negative, got {lambda_hat}")
@@ -365,8 +371,10 @@ def parallel_capforest(
     starts = rng.choice(n, size=p, replace=False).tolist()
 
     if executor == "processes":
-        return _run_processes(graph, lambda_hat, starts, pq_kind, fixed_bound, kernel,
-                              start_method, timeout=timeout, fault_plan=fault_plan)
+        res = _run_processes(graph, lambda_hat, starts, pq_kind, fixed_bound, kernel,
+                             start_method, timeout=timeout, fault_plan=fault_plan)
+        _emit_pass_trace(tracer, res, "processes", pq_kind, kernel, lambda_hat)
+        return res
 
     graph_arrays = (
         graph.xadj.tolist(),
@@ -436,7 +444,47 @@ def parallel_capforest(
         raise ExecutorUnavailable("serial", "every worker crashed", events)
     res = _finalize(uf, lambda_hat, lam_box.value, reports, n)
     res.events = events
+    _emit_pass_trace(tracer, res, executor, pq_kind, kernel, lambda_hat)
     return res
+
+
+def _emit_pass_trace(tracer, res, executor, pq_kind, kernel, lambda_in) -> None:
+    """Emit the pass summary, per-worker reports, and worker-loss events.
+
+    Runs on the coordinator after the pass completes — pass granularity,
+    so a disabled tracer costs exactly one ``None`` check per pass.
+    """
+    if tracer is None:
+        return
+    for ev in res.events:
+        payload = dict(ev)
+        payload["event"] = payload.pop("kind")
+        tracer.emit("worker_event", executor=executor, **payload)
+    for rep in res.workers:
+        tracer.emit(
+            "worker_report",
+            executor=executor,
+            worker_id=rep.worker_id,
+            start_vertex=int(rep.start_vertex),
+            vertices_scanned=rep.vertices_scanned,
+            edges_scanned=rep.edges_scanned,
+            blacklisted=rep.blacklisted,
+            work=rep.work,
+            best_alpha=None if rep.best_alpha is None else int(rep.best_alpha),
+        )
+    tracer.emit(
+        "parallel_pass",
+        executor=executor,
+        pq_kind=pq_kind,
+        kernel=kernel,
+        workers=len(res.workers),
+        lambda_in=int(lambda_in),
+        lambda_out=int(res.lambda_hat),
+        marked=res.n_marked,
+        total_work=res.total_work,
+        makespan_work=res.makespan_work,
+        start_method=res.start_method,
+    )
 
 
 def _drain(gen, worker_id: int, fault_plan: FaultPlan | None, events: list) -> None:

@@ -87,7 +87,9 @@ def run(
                         "p": p,
                         "wall_s": wall,
                         "self_speedup": base_wall / wall if wall > 0 else float("nan"),
-                        "modeled_speedup": res.stats.get("modeled_speedup", 1.0),
+                        # schema v2: key always present, None when no parallel
+                        # pass ran (e.g. the solve collapsed in the seed)
+                        "modeled_speedup": res.stats["modeled_speedup"] or 1.0,
                         "speedup_vs_hnss": t_hnss / wall if wall > 0 else float("nan"),
                         "speedup_vs_best_seq": t_best_seq / wall if wall > 0 else float("nan"),
                         "cut": res.value,

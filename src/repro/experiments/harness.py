@@ -36,37 +36,49 @@ def make_sequential_variants(
     ``HO-CGKLS`` / ``NOI-CGKLS`` are the Chekuri et al. codes; our stand-ins
     are the same algorithms (flow-based Hao–Orlin; NOI with an unbounded
     heap and no VieCut seed) — see DESIGN.md.  ``kernel`` selects the
-    CAPFOREST relaxation kernel for every NOI variant (results are
-    identical either way, so the cross-variant agreement check still holds
-    when timing the two kernels against each other).
+    CAPFOREST relaxation kernel for the bounded/VieCut NOI variants
+    (results are identical either way, so the cross-variant agreement
+    check still holds when timing the two kernels against each other).
+
+    ``NOI-CGKLS`` vs ``NOI-HNSS``: both are unbounded-heap NOI — the
+    *algorithm* is the same, the codes differ in implementation tuning
+    (the paper benchmarks both binaries).  We model that one axis we
+    actually have: the relaxation kernel.  ``NOI-HNSS`` pins the tuned
+    ``"scalar"`` kernel (fastest for unbounded-heap scans here, mirroring
+    the hand-tuned HNSS code); ``NOI-CGKLS`` pins the untuned ``"vector"``
+    stand-in.  Both kernels are bit-identical in results and PQ counters
+    (the kernel-parity tests), so the cross-variant agreement and
+    operation-count comparisons are unaffected — only wall time differs,
+    which is exactly the difference the two paper codes exhibit.
     """
 
-    def ho(graph: Graph, seed: int) -> MinCutResult:
+    def ho(graph: Graph, seed: int, tracer=None) -> MinCutResult:
         from ..baselines.hao_orlin import hao_orlin
 
+        # tracer accepted for a uniform variant signature; HO is untraced
         return hao_orlin(graph, compute_side=False)
 
-    def noi_cgkls(graph: Graph, seed: int) -> MinCutResult:
+    def noi_cgkls(graph: Graph, seed: int, tracer=None) -> MinCutResult:
         return noi_mincut(graph, pq_kind="heap", bounded=False, rng=_seeded(seed),
-                          compute_side=False, kernel=kernel)
+                          compute_side=False, kernel="vector", tracer=tracer)
 
-    def noi_hnss(graph: Graph, seed: int) -> MinCutResult:
+    def noi_hnss(graph: Graph, seed: int, tracer=None) -> MinCutResult:
         return noi_mincut(graph, pq_kind="heap", bounded=False, rng=_seeded(seed),
-                          compute_side=False, kernel=kernel)
+                          compute_side=False, kernel="scalar", tracer=tracer)
 
-    def bounded(pq: str) -> Callable[[Graph, int], MinCutResult]:
-        def run(graph: Graph, seed: int) -> MinCutResult:
+    def bounded(pq: str) -> Callable[..., MinCutResult]:
+        def run(graph: Graph, seed: int, tracer=None) -> MinCutResult:
             return noi_mincut(graph, pq_kind=pq, bounded=True, rng=_seeded(seed),
-                              compute_side=False, kernel=kernel)
+                              compute_side=False, kernel=kernel, tracer=tracer)
 
         return run
 
-    def with_viecut(pq: str, bounded_flag: bool) -> Callable[[Graph, int], MinCutResult]:
-        def run(graph: Graph, seed: int) -> MinCutResult:
+    def with_viecut(pq: str, bounded_flag: bool) -> Callable[..., MinCutResult]:
+        def run(graph: Graph, seed: int, tracer=None) -> MinCutResult:
             from ..viecut.viecut import viecut
 
             rng = _seeded(seed)
-            seed_cut = viecut(graph, rng=rng)
+            seed_cut = viecut(graph, rng=rng, tracer=tracer)
             return noi_mincut(
                 graph,
                 pq_kind=pq,
@@ -75,6 +87,7 @@ def make_sequential_variants(
                 rng=rng,
                 compute_side=False,
                 kernel=kernel,
+                tracer=tracer,
             )
 
         return run
@@ -96,8 +109,8 @@ def make_parallel_variants(
 ) -> dict[str, Callable[[Graph, int], MinCutResult]]:
     """ParCutλ̂-{BStack, BQueue, Heap} at a given worker count."""
 
-    def parcut(pq: str) -> Callable[[Graph, int], MinCutResult]:
-        def run(graph: Graph, seed: int) -> MinCutResult:
+    def parcut(pq: str) -> Callable[..., MinCutResult]:
+        def run(graph: Graph, seed: int, tracer=None) -> MinCutResult:
             return parallel_mincut(
                 graph,
                 workers=workers,
@@ -107,6 +120,7 @@ def make_parallel_variants(
                 use_viecut=True,
                 rng=_seeded(seed),
                 compute_side=False,
+                tracer=tracer,
             )
 
         return run
@@ -129,6 +143,7 @@ class RunRecord:
     seconds: float
     value: int
     stats: dict = field(default_factory=dict)
+    trace_summary: dict | None = None
 
     @property
     def ns_per_edge(self) -> float:
@@ -138,20 +153,36 @@ class RunRecord:
 
 def time_variant(
     name: str,
-    fn: Callable[[Graph, int], MinCutResult],
+    fn: Callable[..., MinCutResult],
     graph: Graph,
     instance: str,
     *,
     repetitions: int = 1,
     seed: int = 0,
+    trace: bool = False,
 ) -> RunRecord:
-    """Run ``fn`` ``repetitions`` times; record the mean time and result."""
+    """Run ``fn`` ``repetitions`` times; record the mean time and result.
+
+    ``trace=True`` attaches a :class:`~repro.observability.Tracer` to the
+    *last* repetition and stores its compact digest in
+    ``record.trace_summary`` (event counts, λ̂ trajectory with provenance).
+    Variants that do not support tracing (e.g. ``HO-CGKLS``) accept and
+    ignore the tracer, yielding an empty summary.
+    """
     times = []
     result: MinCutResult | None = None
+    trace_summary: dict | None = None
     for rep in range(repetitions):
+        tracer = None
+        if trace and rep == repetitions - 1:
+            from ..observability import Tracer
+
+            tracer = Tracer()
         t0 = time.perf_counter()
-        result = fn(graph, seed + rep)
+        result = fn(graph, seed + rep) if tracer is None else fn(graph, seed + rep, tracer)
         times.append(time.perf_counter() - t0)
+        if tracer is not None:
+            trace_summary = tracer.summary()
     assert result is not None
     return RunRecord(
         algorithm=name,
@@ -161,24 +192,28 @@ def time_variant(
         seconds=sum(times) / len(times),
         value=result.value,
         stats=dict(result.stats),
+        trace_summary=trace_summary,
     )
 
 
 def run_matrix(
-    variants: dict[str, Callable[[Graph, int], MinCutResult]],
+    variants: dict[str, Callable[..., MinCutResult]],
     instances: list[tuple[str, Graph]],
     *,
     repetitions: int = 1,
     seed: int = 0,
     check_agreement: bool = True,
+    trace: bool = False,
 ) -> list[RunRecord]:
     """Cross product of variants × instances; optionally asserts all exact
-    solvers agree on every instance (they must — they are exact)."""
+    solvers agree on every instance (they must — they are exact).
+    ``trace=True`` attaches a tracer per run (see :func:`time_variant`)."""
     records: list[RunRecord] = []
     for inst_name, graph in instances:
         values: set[int] = set()
         for algo_name, fn in variants.items():
-            rec = time_variant(algo_name, fn, graph, inst_name, repetitions=repetitions, seed=seed)
+            rec = time_variant(algo_name, fn, graph, inst_name, repetitions=repetitions,
+                               seed=seed, trace=trace)
             records.append(rec)
             values.add(rec.value)
         if check_agreement and len(values) > 1:

@@ -1,0 +1,166 @@
+"""Structured tracing for the minimum-cut solvers.
+
+A :class:`Tracer` collects span/event records — round boundaries, λ̂
+updates with provenance, contraction ratios, worker events, degradations,
+priority-queue counter deltas — into an in-memory ring buffer, optionally
+mirroring every event to a JSONL sink (one JSON object per line).
+
+Design constraints, in order:
+
+1. **Zero cost when absent.**  Every instrumented function takes
+   ``tracer: Tracer | None = None`` and emits only at *round/pass*
+   granularity behind a single ``if tracer is not None`` — never per edge
+   or per queue operation, so the relaxation hot loops are untouched and a
+   ``tracer=None`` run does no added per-edge work (guarded by
+   ``tests/test_observability.py``).
+2. **Bounded memory.**  The ring keeps the most recent ``ring_size``
+   events; the JSONL sink, when given, receives all of them.
+3. **Machine-checkable.**  Every event satisfies the taxonomy in
+   :mod:`repro.observability.schema`; λ̂ updates are validated against
+   :data:`~repro.observability.schema.LAMBDA_PROVENANCE` at emit time, so
+   a typo'd provenance fails the emitting test instead of poisoning traces.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from .schema import EVENT_KINDS, LAMBDA_PROVENANCE
+
+
+def jsonable(obj):
+    """``json.dumps`` default: make numpy scalars/arrays serializable."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+class Tracer:
+    """Collects structured solver events; see module docstring.
+
+    Parameters
+    ----------
+    ring_size:
+        Number of most-recent events kept in memory (:meth:`events`).
+    sink:
+        ``None`` (ring only), a path to open as a JSONL file, or an
+        already-open writable text file object (not closed by
+        :meth:`close` unless the tracer opened it itself).
+    """
+
+    def __init__(self, ring_size: int = 4096, sink=None) -> None:
+        self._ring: deque = deque(maxlen=ring_size)
+        self._seq = 0
+        self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
+        self._owns_sink = False
+        if sink is None or hasattr(sink, "write"):
+            self._sink = sink
+        else:
+            self._sink = open(sink, "w", encoding="utf-8")
+            self._owns_sink = True
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Record one event; returns the event dict."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        with self._lock:
+            ev = {
+                "seq": self._seq,
+                "t": round(time.perf_counter() - self._t0, 6),
+                "kind": kind,
+            }
+            ev.update(fields)
+            self._seq += 1
+            self._ring.append(ev)
+            if self._sink is not None:
+                self._sink.write(json.dumps(ev, default=jsonable) + "\n")
+        return ev
+
+    def lambda_update(self, value, provenance: str, **fields) -> dict:
+        """Record a λ̂ improvement with its provenance (taxonomy-checked)."""
+        if provenance not in LAMBDA_PROVENANCE:
+            raise ValueError(
+                f"unknown lambda provenance {provenance!r}; "
+                f"expected one of {LAMBDA_PROVENANCE}"
+            )
+        return self.emit("lambda_update", value=int(value), provenance=provenance, **fields)
+
+    # -- inspection ---------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        """Events currently in the ring (optionally filtered by kind)."""
+        with self._lock:
+            evs = list(self._ring)
+        if kind is None:
+            return evs
+        return [e for e in evs if e["kind"] == kind]
+
+    def last(self, kind: str) -> dict | None:
+        """Most recent event of ``kind`` still in the ring, or ``None``."""
+        with self._lock:
+            for ev in reversed(self._ring):
+                if ev["kind"] == kind:
+                    return ev
+        return None
+
+    @property
+    def n_emitted(self) -> int:
+        """Total events emitted (including any evicted from the ring)."""
+        return self._seq
+
+    def summary(self) -> dict:
+        """Compact digest for experiment records (``trace_summary``)."""
+        by_kind: dict[str, int] = {}
+        trajectory: list[dict] = []
+        with self._lock:
+            evs = list(self._ring)
+        for ev in evs:
+            by_kind[ev["kind"]] = by_kind.get(ev["kind"], 0) + 1
+        for ev in evs:
+            if ev["kind"] == "lambda_update":
+                trajectory.append(
+                    {"t": ev["t"], "value": ev["value"], "provenance": ev["provenance"]}
+                )
+        return {
+            "events": self._seq,
+            "by_kind": by_kind,
+            "lambda_trajectory": trajectory,
+            "final_lambda": trajectory[-1]["value"] if trajectory else None,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def flush(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        """Flush and (if owned) close the JSONL sink; the ring survives."""
+        if self._sink is not None:
+            self._sink.flush()
+            if self._owns_sink:
+                self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tracer(events={self._seq}, ring={len(self._ring)})"

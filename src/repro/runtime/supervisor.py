@@ -189,6 +189,7 @@ def call_with_degradation(
     *,
     policy: str = "degrade",
     on_degrade=None,
+    tracer=None,
 ):
     """Run ``call(executor)``, stepping down the ladder on executor faults.
 
@@ -198,6 +199,10 @@ def call_with_degradation(
     capped by the ladder length, so the call runs at most three times.
     ``on_degrade(from_executor, to_executor, exc)`` is invoked before each
     retry — callers use it to record the event in their ``stats``.
+
+    ``tracer`` (optional :class:`repro.observability.Tracer`) receives one
+    structured ``degradation`` event per ladder step, in addition to the
+    ``on_degrade`` callback.
 
     Returns ``(result, executor_used)`` so callers can stay degraded for
     subsequent rounds instead of re-paying the failure each time.
@@ -215,4 +220,12 @@ def call_with_degradation(
                 raise
             if on_degrade is not None:
                 on_degrade(executor, nxt, exc)
+            if tracer is not None:
+                tracer.emit(
+                    "degradation",
+                    stage="capforest",
+                    from_executor=executor,
+                    to_executor=nxt,
+                    reason=str(exc),
+                )
             executor = nxt

@@ -37,6 +37,7 @@ def viecut(
     workers: int = 1,
     lp_method: str = "sync",
     pr34_max_arcs: int = 1 << 16,
+    tracer=None,
 ) -> MinCutResult:
     """Fast inexact minimum cut (upper bound with a certified side).
 
@@ -66,6 +67,10 @@ def viecut(
         many arcs; the vectorized PR1/PR2 always run.  Keeps the VieCut
         constant linear-ish on large inputs, as the paper's linear-work PR
         pass does.
+    tracer:
+        Optional :class:`repro.observability.Tracer` receiving
+        ``viecut_start`` / ``viecut_level`` / ``viecut_end`` events (one
+        per multilevel round; ``None`` adds no work).
 
     Returns
     -------
@@ -80,9 +85,13 @@ def viecut(
         rng = np.random.default_rng(rng)
 
     stats: dict = {"levels": 0, "final_exact_n": 0}
+    if tracer is not None:
+        tracer.emit("viecut_start", n=n, m=graph.m, workers=workers, lp_method=lp_method)
 
     ncomp, comp_labels = connected_components(graph)
     if ncomp > 1:
+        if tracer is not None:
+            tracer.emit("viecut_end", value=0, levels=0, final_exact_n=0)
         return MinCutResult(0, comp_labels == 0, n, "viecut", stats)
 
     v0, deg0 = graph.min_weighted_degree()
@@ -114,9 +123,15 @@ def viecut(
             )
         if int(clusters.max()) + 1 == g.n:
             break  # no cluster merged anything; LP has stalled
+        level_n = g.n
         g, lbl = contract_by_labels(g, clusters)
         labels = compose_labels(labels, lbl)
         stats["levels"] += 1
+        if tracer is not None:
+            tracer.emit(
+                "viecut_level", level=stats["levels"], n_before=level_n,
+                n_after=g.n, best_value=best_value,
+            )
         if g.n < 2:
             break
         v, d = g.min_weighted_degree()
@@ -150,4 +165,9 @@ def viecut(
             best_value = exact.value
             best_side = exact.side[labels]
 
+    if tracer is not None:
+        tracer.emit(
+            "viecut_end", value=best_value, levels=stats["levels"],
+            final_exact_n=stats["final_exact_n"],
+        )
     return MinCutResult(best_value, best_side, n, "viecut", stats)
