@@ -26,6 +26,7 @@ __all__ = [
     "from_edges",
     "minimum_cut",
     "MinCutResult",
+    "SolverEngine",
     "__version__",
 ]
 
@@ -37,4 +38,8 @@ def __getattr__(name: str):
         from .core import api
 
         return getattr(api, name)
+    if name == "SolverEngine":
+        from .engine import SolverEngine
+
+        return SolverEngine
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -12,11 +12,24 @@ Examples::
     repro-mincut --algorithm hao-orlin --print-side graph.metis
     repro-mincut --algorithm parcut --executor processes --timeout 30 graph.metis
     repro-mincut --algorithm parcut --trace trace.jsonl --metrics-json m.json graph.metis
+    repro-mincut --batch manifest.jsonl --pool-size 4 --trace engine.jsonl
 
 Exit codes are distinct per failure mode so scripted callers can branch:
 ``0`` success, ``2`` invalid input or usage, ``3`` worker/solver timeout,
 ``4`` worker crash or executor loss (with ``--on-worker-failure fail``),
 ``5`` solver stalled (no-progress watchdog).
+
+Batch mode (``--batch FILE``) solves a whole manifest through **one**
+persistent :class:`~repro.engine.SolverEngine` — one worker pool, one set
+of shared-memory planes, one result cache for the entire run.  The
+manifest is JSONL (one object per line) or a JSON array; each item names
+at least ``{"path": ...}`` and may override ``format``, ``algorithm``,
+``deadline`` (seconds), ``rng``, and any solver kwargs.  CLI flags
+(``--algorithm``, ``--seed``, ``--pq``, ...) supply the defaults items
+don't override.  Every item reports its own status line and exit code;
+the process exits 0 only when every item succeeded, otherwise with the
+first failing item's code.  ``--trace`` in batch mode records the
+*engine-level* event stream (request spans, cache hits, pool recycles).
 """
 
 from __future__ import annotations
@@ -59,7 +72,23 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-mincut",
         description="Exact (and inexact) minimum cuts — Henzinger, Noe & Schulz reproduction.",
     )
-    ap.add_argument("path", help="input graph file")
+    ap.add_argument("path", nargs="?", default=None, help="input graph file")
+    ap.add_argument(
+        "--batch",
+        metavar="FILE",
+        default=None,
+        help="solve a manifest of graphs (JSONL or JSON array of items "
+        "with at least a 'path') through one persistent solver engine; "
+        "prints a status line and exit code per item",
+    )
+    ap.add_argument(
+        "--pool-size",
+        type=int,
+        default=2,
+        metavar="N",
+        help="persistent engine workers for --batch (0 = solve in-process; "
+        "default: 2)",
+    )
     ap.add_argument(
         "--format",
         choices=("metis", "edgelist"),
@@ -121,8 +150,127 @@ def build_parser() -> argparse.ArgumentParser:
     return ap
 
 
+def _load_manifest(path: str) -> list[dict]:
+    """Parse a batch manifest: a JSON array, or JSONL (one item per line)."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        items = json.loads(text)
+    else:
+        items = [
+            json.loads(line) for line in text.splitlines() if line.strip()
+        ]
+    if not isinstance(items, list) or not items:
+        raise ValueError("manifest contains no items")
+    for i, item in enumerate(items):
+        if not isinstance(item, dict) or "path" not in item:
+            raise ValueError(f"manifest item {i} has no 'path': {item!r}")
+    return items
+
+
+def _batch_exit_code(exc: BaseException) -> int:
+    """One item's exit code, mirroring the single-solve mapping."""
+    if isinstance(exc, RuntimeFault):
+        return exit_code_for(exc)
+    return EXIT_INVALID_INPUT
+
+
+def _run_batch(args, tracer) -> int:
+    """Solve every manifest item through one persistent engine."""
+    from .engine import SolverEngine
+
+    try:
+        items = _load_manifest(args.batch)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error reading manifest {args.batch}: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+
+    defaults: dict = {"rng": args.seed}
+    if args.pq is not None:
+        defaults["pq_kind"] = args.pq
+    if args.kernel is not None:
+        defaults["kernel"] = args.kernel
+    if args.workers is not None:
+        defaults["workers"] = args.workers
+    if args.executor is not None:
+        defaults["executor"] = args.executor
+    if args.timeout is not None:
+        defaults["timeout"] = args.timeout
+    if args.on_worker_failure is not None:
+        defaults["on_worker_failure"] = args.on_worker_failure
+
+    codes = [EXIT_OK] * len(items)
+    t0 = time.perf_counter()
+    with SolverEngine(pool_size=args.pool_size, tracer=tracer,
+                      default_algorithm=args.algorithm) as engine:
+        futures: list = [None] * len(items)
+        for i, item in enumerate(items):
+            item = dict(item)
+            path = item.pop("path")
+            fmt = item.pop("format", args.format)
+            algorithm = item.pop("algorithm", None)
+            deadline = item.pop("deadline", None)
+            reader = read_metis if fmt == "metis" else read_edge_list
+            try:
+                graph = reader(path)
+                kwargs = {**defaults, **item}
+                futures[i] = engine.submit(
+                    graph, algorithm, deadline=deadline, **kwargs
+                )
+            except (OSError, ValueError, TypeError) as exc:
+                codes[i] = EXIT_INVALID_INPUT
+                print(f"batch[{i}] {path} exit={EXIT_INVALID_INPUT} error: {exc}")
+        for i, fut in enumerate(futures):
+            if fut is None:
+                continue
+            path = items[i]["path"]
+            try:
+                res = fut.result()
+            except Exception as exc:  # noqa: BLE001 - mapped to per-item codes
+                codes[i] = _batch_exit_code(exc)
+                print(f"batch[{i}] {path} exit={codes[i]} error: {exc}")
+            else:
+                print(
+                    f"batch[{i}] {path} exit=0 algorithm={res.algorithm} "
+                    f"mincut={res.value}"
+                )
+        stats = engine.stats()
+    elapsed = time.perf_counter() - t0
+    failed = sum(1 for c in codes if c != EXIT_OK)
+    print(
+        f"batch     {len(items)} items, {failed} failed, {elapsed:.4f}s, "
+        f"cache hits {stats['cache']['hits']}, "
+        f"pool recycles {stats['pool']['recycles']}"
+    )
+    if tracer is not None:
+        tracer.close()
+    return next((c for c in codes if c != EXIT_OK), EXIT_OK)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if (args.path is None) == (args.batch is None):
+        print("error: exactly one of PATH or --batch is required", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    if args.batch is not None:
+        if args.metrics_json is not None or args.print_side:
+            print(
+                "error: --metrics-json/--print-side are single-solve only, "
+                "not available with --batch",
+                file=sys.stderr,
+            )
+            return EXIT_INVALID_INPUT
+        tracer = None
+        if args.trace is not None:
+            from .observability import Tracer
+
+            try:
+                tracer = Tracer(sink=args.trace)
+            except OSError as exc:
+                print(f"error opening trace sink {args.trace}: {exc}", file=sys.stderr)
+                return EXIT_INVALID_INPUT
+        return _run_batch(args, tracer)
     reader = read_metis if args.format == "metis" else read_edge_list
     try:
         graph = reader(args.path)

@@ -132,7 +132,9 @@ EXACT_ALGORITHMS = ("noi", "noi-hnss", "noi-viecut", "parcut", "stoer-wagner", "
 TRACEABLE_ALGORITHMS = ("noi", "noi-hnss", "noi-viecut", "parcut", "viecut")
 
 
-def minimum_cut(graph: Graph, algorithm: str = "noi-viecut", **kwargs) -> MinCutResult:
+def minimum_cut(
+    graph: Graph, algorithm: str = "noi-viecut", *, engine=None, **kwargs
+) -> MinCutResult:
     """Compute a minimum cut of ``graph``.
 
     Parameters
@@ -144,6 +146,13 @@ def minimum_cut(graph: Graph, algorithm: str = "noi-viecut", **kwargs) -> MinCut
         Registry name (see module docstring).  The default,
         ``"noi-viecut"``, is the configuration the paper finds fastest
         sequentially on almost all instances.
+    engine:
+        Optional :class:`repro.engine.SolverEngine`.  When given, the solve
+        is routed through the engine — served from its result cache when
+        the (graph, algorithm, kwargs) key hits, otherwise dispatched to
+        its persistent worker pool.  Engine solves restrict kwargs to
+        canonicalisable values (``rng`` must be an integer seed, no
+        ``tracer=``); pass the tracer to the engine itself instead.
     **kwargs:
         Forwarded to the selected solver (e.g. ``rng=...`` for
         reproducibility, ``pq_kind=...``, ``workers=...``;
@@ -174,4 +183,6 @@ def minimum_cut(graph: Graph, algorithm: str = "noi-viecut", **kwargs) -> MinCut
         raise ValueError(
             f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
         ) from None
+    if engine is not None:
+        return engine.solve(graph, algorithm, **kwargs)
     return solver(graph, **kwargs)

@@ -532,9 +532,23 @@ def _finalize(
 
 
 def default_start_method() -> str:
-    """``fork`` where the platform offers it, else ``spawn``."""
-    import multiprocessing as mp
+    """``fork`` where the platform offers it, else ``spawn``.
 
+    The ``REPRO_START_METHOD`` environment variable overrides the platform
+    default (CI uses this to run the parallel suites under both methods on
+    Linux); an unsupported value raises rather than silently degrading.
+    """
+    import multiprocessing as mp
+    import os
+
+    override = os.environ.get("REPRO_START_METHOD")
+    if override:
+        if override not in mp.get_all_start_methods():
+            raise ValueError(
+                f"REPRO_START_METHOD={override!r} not supported here; "
+                f"available: {mp.get_all_start_methods()}"
+            )
+        return override
     return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
 
 

@@ -1,0 +1,82 @@
+"""Bounded LRU cache of :class:`~repro.core.result.MinCutResult` objects.
+
+Entries are keyed by :func:`~repro.engine.keys.request_key` — graph digest
+plus algorithm plus canonical kwargs — so a hit is byte-equivalent to
+re-running the solve (exact solvers are deterministic given their seed,
+which is part of the key).  The cache stores one immutable prototype per
+key and hands out *copies* with fresh ``stats`` dicts, so callers that
+annotate or mutate a returned result can never poison later hits.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..core.result import MinCutResult
+
+
+def _clone(result: MinCutResult) -> MinCutResult:
+    """A result copy whose mutable parts (stats dict) are caller-private.
+
+    The ``side`` array is shared deliberately: results are read-only by
+    contract and the mask can be ~n bytes, the one part worth not copying.
+    """
+    return MinCutResult(result.value, result.side, result.n, result.algorithm,
+                        dict(result.stats))
+
+
+class ResultCache:
+    """Thread-safe LRU mapping of request keys to solve results."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, MinCutResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> MinCutResult | None:
+        """The cached result for ``key`` (refreshing its LRU slot), or None."""
+        with self._lock:
+            proto = self._entries.get(key)
+            if proto is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return _clone(proto)
+
+    def put(self, key: str, result: MinCutResult) -> None:
+        """Store ``result`` under ``key``, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        proto = _clone(result)
+        with self._lock:
+            self._entries[key] = proto
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -1,0 +1,658 @@
+"""The persistent solver engine: pooled workers, batching, result cache.
+
+:class:`SolverEngine` turns the one-shot :func:`repro.minimum_cut` call
+into a long-lived service primitive::
+
+    with SolverEngine(pool_size=4) as engine:
+        fut = engine.submit(g1, algorithm="parcut", seed=0)   # async
+        res = engine.solve(g2)                                # sync
+        results = engine.solve_many([g1, g2, g3])             # batch
+        res = fut.result(timeout=30)
+
+What one engine amortises across solves (versus per-call
+``parallel_mincut``):
+
+* **process startup** — ``pool_size`` solve workers are spawned once and
+  reused (:mod:`~repro.engine.pool`), instead of a fresh fan-out per call;
+* **plane setup** — each distinct graph is exported to shared memory once
+  and leased per request (:mod:`~repro.engine.planes`);
+* **repeated work** — an LRU cache keyed by canonical graph digest plus
+  solve configuration returns repeated solves in O(1)
+  (:mod:`~repro.engine.cache`, :mod:`~repro.engine.keys`).
+
+Requests carry optional per-request **deadlines** (a blown deadline fails
+that request with :class:`~repro.runtime.WorkerTimeout` and recycles the
+worker it occupied) and support **cancellation** while still queued.
+Failure handling follows the runtime's degradation philosophy: a crashed
+worker is recycled and its request retried once on a fresh worker; an
+engine whose pool exhausts its recycle budget abandons the pool and keeps
+serving requests in-process (degraded, never wedged) — the
+``processes → threads → serial`` ladder, one level up.
+
+Threading model: callers only touch the pending queue, the cache, and
+futures (all lock-protected or thread-safe).  Worker assignment, result
+collection, deadlines, and pool lifecycle belong to the single dispatcher
+thread, so ``_inflight``/``_idle``/pool teardown need no further locking.
+
+Observability: pass ``tracer=`` to record the engine-level event kinds
+(``engine_start``/``engine_stop``, ``request_start``/``request_end``,
+``cache_hit``, ``pool_recycle``) of the closed taxonomy in
+:mod:`repro.observability.schema`.  Solver-internal events stay inside the
+pooled workers; the engine trace is the request-level view.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.result import MinCutResult
+from ..runtime.errors import WorkerCrashed, WorkerTimeout
+from .cache import ResultCache
+from .keys import graph_digest, request_key
+from .planes import PlaneRegistry
+from .pool import POLL_INTERVAL, WorkerPool
+
+#: kwargs that name live objects — impossible to ship to a pooled worker
+#: process or to canonicalise into a cache key.  ``rng`` is fine as an
+#: *integer* seed; a live Generator fails request keying instead.
+_UNPOOLABLE_KWARGS = ("tracer", "fault_plan")
+
+#: worker crashes tolerated (with respawn) before the pool is abandoned
+#: and the engine degrades to in-process solving
+DEFAULT_MAX_RECYCLES = 3
+
+#: dispatch attempts per request (i.e. one retry after a worker crash;
+#: blown deadlines never retry — the caller's budget is already spent)
+_MAX_ATTEMPTS = 2
+
+
+class EngineClosed(RuntimeError):
+    """The engine was closed; no further requests are accepted."""
+
+
+class RequestCancelled(RuntimeError):
+    """The request was cancelled before it started solving."""
+
+
+@dataclass
+class _Request:
+    req_id: int
+    graph: Any
+    digest: str
+    key: str
+    algorithm: str
+    kwargs: dict
+    cacheable: bool
+    deadline: float | None  # absolute monotonic, None = no deadline
+    future: "EngineFuture | None" = None
+    attempts: int = 0
+    leased: bool = False
+    submitted_at: float = field(default_factory=time.monotonic)
+
+
+class EngineFuture:
+    """Completion handle for one submitted solve request."""
+
+    def __init__(self, engine: "SolverEngine", request: _Request) -> None:
+        self._engine = engine
+        self._request = request
+        self._event = threading.Event()
+        self._result: MinCutResult | None = None
+        self._exception: BaseException | None = None
+        self._cancelled = False
+
+    # -- engine side --------------------------------------------------------
+
+    def _fulfill(self, result: MinCutResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._event.set()
+
+    def _mark_cancelled(self) -> None:
+        self._cancelled = True
+        self._event.set()
+
+    # -- caller side --------------------------------------------------------
+
+    def cancel(self) -> bool:
+        """Cancel if still queued.  Returns ``False`` once solving has
+        begun — in-flight work is never interrupted (its result simply
+        lands in the cache for free)."""
+        return self._engine._cancel(self._request)
+
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> MinCutResult:
+        """Block for the result; raises the request's failure, if any."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self._request.req_id} not done after {timeout}s"
+            )
+        if self._cancelled:
+            raise RequestCancelled(f"request {self._request.req_id} was cancelled")
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request {self._request.req_id} not done after {timeout}s"
+            )
+        return self._exception
+
+
+class SolverEngine:
+    """Persistent minimum-cut solver: see module docstring.
+
+    Parameters
+    ----------
+    pool_size:
+        Persistent solve workers.  ``0`` disables the pool outright — the
+        engine then solves in-process on its dispatcher thread (batching
+        and caching still apply; useful where process pools are
+        unavailable).
+    cache_size:
+        LRU result-cache capacity (entries); ``0`` disables caching.
+    plane_capacity:
+        Distinct graphs kept resident in shared memory between solves.
+    start_method:
+        Multiprocessing start method for the pool (default: the platform
+        default, overridable via ``REPRO_START_METHOD``).
+    default_algorithm:
+        Algorithm used when a request names none.
+    max_recycles:
+        Worker replacements tolerated before the pool is abandoned and
+        the engine degrades to in-process solving.
+    tracer:
+        Optional :class:`repro.observability.Tracer` for the engine-level
+        event kinds.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool_size: int = 2,
+        cache_size: int = 128,
+        plane_capacity: int = 8,
+        start_method: str | None = None,
+        default_algorithm: str = "noi-viecut",
+        max_recycles: int = DEFAULT_MAX_RECYCLES,
+        tracer=None,
+    ) -> None:
+        from ..core.api import ALGORITHMS
+
+        if default_algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {default_algorithm!r}; "
+                f"available: {sorted(ALGORITHMS)}"
+            )
+        self.default_algorithm = default_algorithm
+        self.max_recycles = max_recycles
+        self._tracer = tracer
+        self._cache = ResultCache(cache_size)
+        self._planes = PlaneRegistry(capacity=plane_capacity)
+        self._pool: WorkerPool | None = (
+            WorkerPool(pool_size, start_method) if pool_size > 0 else None
+        )
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._pending: deque[_Request] = deque()
+        # dispatcher-thread-only state (see module docstring):
+        self._inflight: dict[int, _Request] = {}  # worker_id -> request
+        self._idle: set[int] = set(range(pool_size)) if self._pool else set()
+        self._req_ids = itertools.count()
+        self._closing = False
+        self._closed = False
+        self._counters = {
+            "submitted": 0, "completed": 0, "failed": 0, "cancelled": 0,
+            "retries": 0, "inline_solves": 0, "pool_abandoned": False,
+        }
+        if tracer is not None:
+            tracer.emit(
+                "engine_start",
+                pool_size=pool_size,
+                cache_size=cache_size,
+                plane_capacity=plane_capacity,
+                start_method=self._pool.start_method if self._pool else None,
+                default_algorithm=default_algorithm,
+            )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="engine-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(
+        self,
+        graph,
+        algorithm: str | None = None,
+        *,
+        deadline: float | None = None,
+        cache: bool = True,
+        **kwargs,
+    ) -> EngineFuture:
+        """Enqueue one solve; returns an :class:`EngineFuture`.
+
+        ``deadline`` is seconds from now for the whole request (queueing
+        included); a blown deadline fails the future with
+        :class:`~repro.runtime.WorkerTimeout`.  ``cache=False`` bypasses
+        both lookup and store for this request.  ``kwargs`` are forwarded
+        to the solver and must be canonicalisable (JSON scalars and
+        containers — seed with ``rng=<int>``, never a live Generator or
+        tracer object).
+        """
+        from ..core.api import ALGORITHMS
+
+        algorithm = algorithm or self.default_algorithm
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+            )
+        for bad in _UNPOOLABLE_KWARGS:
+            if bad in kwargs:
+                raise ValueError(
+                    f"{bad!r} cannot cross the engine boundary; seed with an "
+                    "integer and trace at the engine level instead"
+                )
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        # pooled workers are daemonic and may not fork grandchildren; the
+        # pool already provides cross-request process parallelism
+        if self._pool is not None and kwargs.get("executor") == "processes":
+            kwargs = dict(kwargs, executor="threads")
+        digest = graph_digest(graph)
+        key = request_key(digest, algorithm, kwargs)
+        with self._lock:
+            if self._closing or self._closed:
+                raise EngineClosed("engine is closed")
+            req = _Request(
+                req_id=next(self._req_ids),
+                graph=graph,
+                digest=digest,
+                key=key,
+                algorithm=algorithm,
+                kwargs=kwargs,
+                cacheable=cache,
+                deadline=None if deadline is None else time.monotonic() + deadline,
+            )
+            req.future = EngineFuture(self, req)
+            self._counters["submitted"] += 1
+            self._emit(
+                "request_start", req_id=req.req_id, digest=digest,
+                algorithm=algorithm, n=graph.n, m=graph.m, deadline_s=deadline,
+            )
+            cached = self._cache.get(key) if cache else None
+            if cached is not None:
+                self._emit("cache_hit", req_id=req.req_id, digest=digest)
+                self._finish(req, result=cached, status="cached", locked=True)
+                return req.future
+            self._pending.append(req)
+            self._wake.notify()
+        return req.future
+
+    def solve(
+        self,
+        graph,
+        algorithm: str | None = None,
+        *,
+        deadline: float | None = None,
+        cache: bool = True,
+        **kwargs,
+    ) -> MinCutResult:
+        """Synchronous :meth:`submit` + ``result()``."""
+        return self.submit(
+            graph, algorithm, deadline=deadline, cache=cache, **kwargs
+        ).result()
+
+    def solve_many(
+        self,
+        items,
+        *,
+        deadline: float | None = None,
+        return_exceptions: bool = False,
+        **common_kwargs,
+    ) -> list:
+        """Solve a batch concurrently; results in submission order.
+
+        ``items`` are graphs, ``(graph, algorithm)`` pairs, or dicts
+        ``{"graph": g, "algorithm": ..., "deadline": ..., **solver_kwargs}``
+        (per-item entries override the call-level defaults).  With
+        ``return_exceptions=True`` failed items come back as exception
+        objects in-place instead of raising on the first failure — the
+        CLI batch mode uses this for per-item exit status.
+        """
+        futures = []
+        for item in items:
+            kwargs = dict(common_kwargs)
+            algorithm = None
+            item_deadline = deadline
+            cache = True
+            if isinstance(item, dict):
+                item = dict(item)
+                graph = item.pop("graph")
+                algorithm = item.pop("algorithm", None)
+                item_deadline = item.pop("deadline", deadline)
+                cache = item.pop("cache", True)
+                kwargs.update(item)
+            elif isinstance(item, tuple):
+                graph, algorithm = item
+            else:
+                graph = item
+            futures.append(
+                self.submit(graph, algorithm, deadline=item_deadline,
+                            cache=cache, **kwargs)
+            )
+        results = []
+        for fut in futures:
+            if return_exceptions:
+                try:
+                    results.append(fut.result())
+                except Exception as exc:  # noqa: BLE001 - collected per item
+                    results.append(exc)
+            else:
+                results.append(fut.result())
+        return results
+
+    def stats(self) -> dict:
+        """Snapshot of request counters, cache, planes, and pool health."""
+        with self._lock:
+            counters = dict(self._counters)
+            pending = len(self._pending)
+        pool = self._pool
+        return {
+            **counters,
+            "pending": pending,
+            "inflight": len(self._inflight),
+            "cache": self._cache.stats(),
+            "planes": self._planes.stats(),
+            "pool": {
+                "size": pool.size if pool else 0,
+                "start_method": pool.start_method if pool else None,
+                "recycles": pool.recycles if pool else 0,
+            },
+        }
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop the engine.  ``drain=True`` finishes queued work first;
+        ``drain=False`` cancels everything still pending."""
+        with self._lock:
+            if self._closed:
+                return
+            already_closing = self._closing
+            self._closing = True
+            if not drain:
+                while self._pending:
+                    req = self._pending.popleft()
+                    self._counters["cancelled"] += 1
+                    self._emit("request_end", req_id=req.req_id,
+                               status="cancelled", seconds=self._elapsed(req))
+                    req.future._mark_cancelled()
+            self._wake.notify()
+        if already_closing:
+            return
+        self._dispatcher.join(timeout=120.0)
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self._planes.close()
+        with self._lock:
+            self._closed = True
+            self._emit("engine_stop", cache_hits=self._cache.hits,
+                       cache_misses=self._cache.misses, **self._counters)
+
+    def __enter__(self) -> "SolverEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- internals ----------------------------------------------------------
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(kind, **fields)
+
+    @staticmethod
+    def _elapsed(req: _Request) -> float:
+        return round(time.monotonic() - req.submitted_at, 6)
+
+    def _cancel(self, req: _Request) -> bool:
+        with self._lock:
+            if req.future.done():
+                return False
+            try:
+                self._pending.remove(req)
+            except ValueError:
+                return False  # already dispatched (or finishing right now)
+            self._counters["cancelled"] += 1
+            self._emit("request_end", req_id=req.req_id, status="cancelled",
+                       seconds=self._elapsed(req))
+            req.future._mark_cancelled()
+            return True
+
+    def _finish(self, req: _Request, *, result=None, exc=None, status="ok",
+                locked=False) -> None:
+        """Resolve one request: plane release, cache store, trace, future."""
+        if req.leased:
+            self._planes.release(req.digest)
+            req.leased = False
+        if result is not None and req.cacheable and status == "ok":
+            self._cache.put(req.key, result)
+
+        def record() -> None:
+            self._counters["completed" if exc is None else "failed"] += 1
+            self._emit(
+                "request_end", req_id=req.req_id, status=status,
+                seconds=self._elapsed(req),
+                value=None if result is None else int(result.value),
+            )
+
+        if locked:
+            record()
+        else:
+            with self._lock:
+                record()
+        if exc is not None:
+            req.future._fail(exc)
+        else:
+            req.future._fulfill(result)
+
+    # -- dispatcher thread ---------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        """Assign, collect, enforce deadlines, supervise the pool."""
+        while True:
+            inline: list[_Request] = []
+            with self._lock:
+                if self._closing and not self._pending and not self._inflight:
+                    return
+                self._assign(inline)
+                if self._pool is None and not inline and not self._inflight:
+                    self._wake.wait(timeout=POLL_INTERVAL)
+            for req in inline:
+                self._solve_inline(req)
+            if self._pool is not None:
+                self._collect()
+            if self._pool is not None:
+                self._enforce_deadlines()
+            if self._pool is not None:
+                self._supervise_workers()
+
+    def _assign(self, inline: list) -> None:
+        """Move pending requests to idle workers (caller holds the lock)."""
+        still_pending: deque[_Request] = deque()
+        now = time.monotonic()
+        while self._pending:
+            req = self._pending.popleft()
+            if req.deadline is not None and now > req.deadline:
+                self._finish(req, exc=WorkerTimeout(-1, now - req.submitted_at),
+                             status="timeout", locked=True)
+                continue
+            if req.cacheable:
+                # a duplicate completed while this one queued: serve it now
+                cached = self._cache.get(req.key)
+                if cached is not None:
+                    self._emit("cache_hit", req_id=req.req_id, digest=req.digest)
+                    self._finish(req, result=cached, status="cached", locked=True)
+                    continue
+            if self._pool is None:
+                inline.append(req)
+                continue
+            if not self._idle:
+                still_pending.append(req)
+                break
+            worker_id = self._idle.pop()
+            try:
+                plane = self._planes.lease(req.digest, req.graph)
+                req.leased = True
+            except Exception as exc:  # noqa: BLE001 - lease failure fails the request
+                self._idle.add(worker_id)
+                self._finish(req, exc=exc, status="error", locked=True)
+                continue
+            req.attempts += 1
+            self._inflight[worker_id] = req
+            kwargs = dict(req.kwargs)
+            fault = kwargs.pop("_test_fault", None)
+            task = {
+                "req_id": req.req_id,
+                "plane": plane.name,
+                "algorithm": req.algorithm,
+                "kwargs": kwargs,
+            }
+            if fault:
+                task.update(fault)
+            self._pool.submit(worker_id, task)
+        still_pending.extend(self._pending)
+        self._pending = still_pending
+
+    def _solve_inline(self, req: _Request) -> None:
+        """Degraded path: run the solve on the dispatcher thread."""
+        from ..core.api import minimum_cut
+
+        with self._lock:
+            self._counters["inline_solves"] += 1
+        try:
+            kwargs = dict(req.kwargs)
+            kwargs.pop("_test_fault", None)
+            result = minimum_cut(req.graph, algorithm=req.algorithm, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - surfaced through the future
+            self._finish(req, exc=exc, status="error")
+        else:
+            self._finish(req, result=result)
+
+    def _collect(self) -> None:
+        """Drain worker results; the first poll blocks one interval."""
+        msg = self._pool.poll()
+        while msg is not None:
+            worker_id, req_id, status, payload = msg
+            req = self._inflight.get(worker_id)
+            if req is None or req.req_id != req_id:
+                # late result from a worker whose request already timed out
+                # (the worker was recycled); the payload is orphaned
+                msg = self._pool.poll(timeout=0.0)
+                continue
+            del self._inflight[worker_id]
+            self._idle.add(worker_id)
+            if status == "ok":
+                value, side, n, algorithm, stats = payload
+                self._finish(
+                    req, result=MinCutResult(value, side, n, algorithm, stats)
+                )
+            else:
+                self._finish(
+                    req,
+                    exc=RuntimeError(
+                        f"pooled solve of request {req_id} failed: {payload}"
+                    ),
+                    status="error",
+                )
+            msg = self._pool.poll(timeout=0.0)
+
+    def _enforce_deadlines(self) -> None:
+        now = time.monotonic()
+        expired = [
+            (wid, req) for wid, req in self._inflight.items()
+            if req.deadline is not None and now > req.deadline
+        ]
+        for worker_id, req in expired:
+            if self._inflight.pop(worker_id, None) is None:
+                # a previous recycle abandoned the pool and requeued this
+                # request; _assign's deadline check will time it out
+                continue
+            self._recycle_worker(worker_id, reason="deadline")
+            self._finish(req, exc=WorkerTimeout(worker_id, now - req.submitted_at),
+                         status="timeout")
+
+    def _supervise_workers(self) -> None:
+        """Respawn dead workers; retry (once) or fail their requests."""
+        dead = [
+            (wid, self._pool.exitcode(wid))
+            for wid in range(self._pool.size)
+            if self._pool.exitcode(wid) is not None
+        ]
+        for worker_id, code in dead:
+            if self._pool is None:
+                break  # abandoned mid-loop by a previous recycle
+            req = self._inflight.pop(worker_id, None)
+            self._idle.discard(worker_id)
+            self._recycle_worker(worker_id, reason=f"crashed exit={code}")
+            if req is None:
+                continue
+            if req.leased:
+                self._planes.release(req.digest)
+                req.leased = False
+            if self._pool is None or req.attempts < _MAX_ATTEMPTS:
+                # retry on a fresh worker, or inline if the pool is gone
+                with self._lock:
+                    self._counters["retries"] += 1
+                    self._pending.appendleft(req)
+            else:
+                self._finish(
+                    req,
+                    exc=WorkerCrashed(worker_id, code, "pooled solve worker died"),
+                    status="crashed",
+                )
+
+    def _recycle_worker(self, worker_id: int, *, reason: str) -> None:
+        if self._pool is None:
+            return
+        if self._pool.recycles >= self.max_recycles:
+            self._abandon_pool(f"recycle budget exhausted ({reason})")
+            return
+        self._emit("pool_recycle", action="respawn", worker_id=worker_id,
+                   reason=reason)
+        self._pool.recycle(worker_id)
+        self._idle.add(worker_id)
+
+    def _abandon_pool(self, reason: str) -> None:
+        """Degrade: drop the pool, requeue its in-flight work for inline."""
+        pool, self._pool = self._pool, None
+        self._idle.clear()
+        self._emit("pool_recycle", action="abandon", reason=reason)
+        requeue = list(self._inflight.values())
+        self._inflight.clear()
+        with self._lock:
+            self._counters["pool_abandoned"] = True
+            for req in reversed(requeue):
+                if req.leased:
+                    self._planes.release(req.digest)
+                    req.leased = False
+                self._pending.appendleft(req)
+        # shut the old pool down off-thread: terminate() of a wedged worker
+        # can block, and the dispatcher must keep serving inline
+        threading.Thread(target=pool.shutdown, daemon=True).start()

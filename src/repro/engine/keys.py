@@ -1,0 +1,59 @@
+"""Canonical request keying: graph digests and solve-configuration keys.
+
+The engine's result cache and shared-memory plane registry are both keyed
+by a **canonical graph digest** — a cryptographic hash over the exact CSR
+byte content (``n`` plus the three arrays).  Two :class:`~repro.graph.csr.Graph`
+objects digest equal iff they are the same graph with the same vertex
+numbering and arc ordering:
+
+* the digest covers the *arrays*, not the edge *set* — an isomorphic graph
+  with permuted vertex ids, or the same edge set inserted in a different
+  order through :class:`~repro.graph.builder.GraphBuilder`, digests
+  differently (a conservative miss, never a wrong hit);
+* graphs are immutable by contract (``csr.py``); a caller that mutates the
+  arrays behind a digest voids the cache the same way it voids every other
+  invariant in the package.
+
+A **request key** extends the digest with the algorithm name and the
+canonicalised solve kwargs, so solves that could differ in value, side, or
+stats shape never alias in the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from ..graph.csr import Graph
+
+
+def graph_digest(graph: Graph) -> str:
+    """Hex digest canonically identifying ``graph``'s exact CSR content."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(graph.n.to_bytes(8, "little"))
+    for arr in (graph.xadj, graph.adjncy, graph.adjwgt):
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+class UnkeyableRequest(TypeError):
+    """A solve kwarg cannot be canonicalised into a cache key."""
+
+
+def request_key(digest: str, algorithm: str, kwargs: dict) -> str:
+    """One string key per (graph, algorithm, solve configuration).
+
+    Kwargs are canonicalised through sorted-key JSON, so dict ordering
+    never splits the cache.  Values must be JSON-representable scalars or
+    nested lists/dicts thereof — live objects (tracers, RNG generators,
+    fault plans) have no canonical form and raise :class:`UnkeyableRequest`;
+    the engine rejects them at submit time for the same reason it cannot
+    ship them to a pooled worker process.
+    """
+    try:
+        blob = json.dumps(kwargs, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise UnkeyableRequest(
+            f"solve kwargs are not canonicalisable for caching/pooling: {exc}"
+        ) from None
+    return f"{digest}:{algorithm}:{blob}"

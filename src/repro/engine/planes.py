@@ -1,0 +1,126 @@
+"""Refcounted registry of live shared-memory CSR planes.
+
+One :class:`~repro.graph.shm.SharedGraph` export per distinct graph digest,
+kept alive across solves so repeated or concurrent requests on the same
+graph attach to the *same* segment instead of re-exporting the CSR arrays
+per solve — the plane-setup amortisation half of the engine's job (the
+other half, process reuse, lives in :mod:`~repro.engine.pool`).
+
+Lifecycle is explicit:
+
+* :meth:`PlaneRegistry.lease` exports on first use (or revives the cached
+  segment) and increments the digest's refcount — one count per in-flight
+  request using the plane;
+* :meth:`PlaneRegistry.release` decrements; a zero-refcount plane is *not*
+  unlinked — it parks in LRU order so the next solve of the same graph
+  reuses it;
+* parked planes are evicted (unlinked) only when the registry exceeds
+  ``capacity``, and :meth:`close` unlinks everything.  Leased planes are
+  never evicted: eviction scans only zero-refcount entries.
+
+The registry is coordinator-side state; workers only ever see segment
+names and attach as borrowers (:meth:`SharedGraph.attach`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..graph.csr import Graph
+from ..graph.shm import SharedGraph
+
+
+@dataclass
+class _PlaneEntry:
+    plane: SharedGraph
+    refcount: int = 0
+
+
+class PlaneRegistry:
+    """Digest-keyed pool of live :class:`SharedGraph` segments."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, _PlaneEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self._closed = False
+        self.exports = 0
+        self.reuses = 0
+
+    def lease(self, digest: str, graph: Graph) -> SharedGraph:
+        """The live plane for ``digest``, exporting ``graph`` on first use.
+
+        Every ``lease`` must be paired with exactly one :meth:`release`.
+        """
+        with self._lock:
+            if self._closed:
+                raise ValueError("plane registry is closed")
+            entry = self._entries.get(digest)
+            if entry is None:
+                entry = _PlaneEntry(SharedGraph.export(graph))
+                self._entries[digest] = entry
+                self.exports += 1
+            else:
+                self.reuses += 1
+            entry.refcount += 1
+            self._entries.move_to_end(digest)
+            self._evict_over_capacity()
+            return entry.plane
+
+    def release(self, digest: str) -> None:
+        """Return one lease; parks the plane (LRU) at refcount zero."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                return  # already evicted by close(); nothing to do
+            entry.refcount -= 1
+            if entry.refcount < 0:
+                raise ValueError(f"plane {digest} released more times than leased")
+            self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> None:
+        # caller holds the lock; drop the oldest *parked* planes first
+        if len(self._entries) <= self.capacity:
+            return
+        for digest in [d for d, e in self._entries.items() if e.refcount == 0]:
+            if len(self._entries) <= self.capacity:
+                break
+            self._entries.pop(digest).plane.unlink()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def leased(self) -> int:
+        """Number of planes with at least one outstanding lease."""
+        with self._lock:
+            return sum(1 for e in self._entries.values() if e.refcount > 0)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "planes": len(self._entries),
+                "leased": sum(1 for e in self._entries.values() if e.refcount > 0),
+                "exports": self.exports,
+                "reuses": self.reuses,
+            }
+
+    def close(self) -> None:
+        """Unlink every segment (idempotent).  Outstanding leases go stale:
+        close only after the owning engine has drained its requests."""
+        with self._lock:
+            self._closed = True
+            entries, self._entries = self._entries, OrderedDict()
+        for entry in entries.values():
+            entry.plane.unlink()
+
+    def __enter__(self) -> "PlaneRegistry":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -6,6 +6,7 @@ DESIGN.md's experiment index for the mapping to the paper.
 
 from .harness import (
     RunRecord,
+    make_engine_variants,
     make_parallel_variants,
     make_sequential_variants,
     run_matrix,
@@ -14,6 +15,7 @@ from .harness import (
 
 __all__ = [
     "RunRecord",
+    "make_engine_variants",
     "make_parallel_variants",
     "make_sequential_variants",
     "run_matrix",

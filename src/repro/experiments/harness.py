@@ -132,6 +132,43 @@ def make_parallel_variants(
     }
 
 
+def make_engine_variants(
+    algorithms: dict[str, str] | None = None, **solve_kwargs
+) -> dict[str, Callable[..., MinCutResult]]:
+    """Variants that route through a shared :class:`~repro.engine.SolverEngine`.
+
+    ``algorithms`` maps variant display names to registry algorithm names
+    (default: the engine default plus ParCut).  The returned callables
+    follow the harness protocol with one extra keyword, ``engine`` —
+    :func:`time_variant`/:func:`run_matrix` inject the shared engine there,
+    so a whole matrix reuses one worker pool, one set of shared-memory
+    planes, and one result cache.  Without an engine they fall back to
+    direct :func:`~repro.core.api.minimum_cut` calls (same results, no
+    amortisation), so the variants stay usable in engine-less scripts.
+
+    Per-solve tracers are ignored by design: engine requests cannot carry
+    live tracer objects — trace at the engine level instead.
+    """
+    if algorithms is None:
+        algorithms = {
+            "Engine-NOIlam-Heap-VieCut": "noi-viecut",
+            "Engine-ParCutlam-BQueue": "parcut",
+        }
+
+    def through_engine(algo: str) -> Callable[..., MinCutResult]:
+        def run(graph: Graph, seed: int, tracer=None, engine=None) -> MinCutResult:
+            from ..core.api import minimum_cut
+
+            kwargs = dict(solve_kwargs)
+            kwargs.setdefault("compute_side", False)
+            return minimum_cut(graph, algorithm=algo, engine=engine,
+                               rng=int(seed), **kwargs)
+
+        return run
+
+    return {name: through_engine(algo) for name, algo in algorithms.items()}
+
+
 @dataclass
 class RunRecord:
     """One (algorithm, instance) measurement."""
@@ -160,6 +197,7 @@ def time_variant(
     repetitions: int = 1,
     seed: int = 0,
     trace: bool = False,
+    engine=None,
 ) -> RunRecord:
     """Run ``fn`` ``repetitions`` times; record the mean time and result.
 
@@ -168,7 +206,16 @@ def time_variant(
     ``record.trace_summary`` (event counts, λ̂ trajectory with provenance).
     Variants that do not support tracing (e.g. ``HO-CGKLS``) accept and
     ignore the tracer, yielding an empty summary.
+
+    ``engine`` (a :class:`~repro.engine.SolverEngine`) is forwarded to
+    variants whose callable declares an ``engine`` parameter (see
+    :func:`make_engine_variants`); classic variants never see it.
     """
+    import inspect
+
+    extra: dict = {}
+    if engine is not None and "engine" in inspect.signature(fn).parameters:
+        extra["engine"] = engine
     times = []
     result: MinCutResult | None = None
     trace_summary: dict | None = None
@@ -179,7 +226,11 @@ def time_variant(
 
             tracer = Tracer()
         t0 = time.perf_counter()
-        result = fn(graph, seed + rep) if tracer is None else fn(graph, seed + rep, tracer)
+        result = (
+            fn(graph, seed + rep, **extra)
+            if tracer is None
+            else fn(graph, seed + rep, tracer, **extra)
+        )
         times.append(time.perf_counter() - t0)
         if tracer is not None:
             trace_summary = tracer.summary()
@@ -204,16 +255,20 @@ def run_matrix(
     seed: int = 0,
     check_agreement: bool = True,
     trace: bool = False,
+    engine=None,
 ) -> list[RunRecord]:
     """Cross product of variants × instances; optionally asserts all exact
     solvers agree on every instance (they must — they are exact).
-    ``trace=True`` attaches a tracer per run (see :func:`time_variant`)."""
+    ``trace=True`` attaches a tracer per run (see :func:`time_variant`).
+    ``engine=`` shares one :class:`~repro.engine.SolverEngine` across the
+    whole matrix for engine-aware variants — the pool, planes, and cache
+    are reused for every (variant, instance, repetition) cell."""
     records: list[RunRecord] = []
     for inst_name, graph in instances:
         values: set[int] = set()
         for algo_name, fn in variants.items():
             rec = time_variant(algo_name, fn, graph, inst_name, repetitions=repetitions,
-                               seed=seed, trace=trace)
+                               seed=seed, trace=trace, engine=engine)
             records.append(rec)
             values.add(rec.value)
         if check_agreement and len(values) > 1:

@@ -14,7 +14,6 @@ Exit status is non-zero on any disagreement, so it can serve as a CI gate.
 from __future__ import annotations
 
 import argparse
-import sys
 from collections import Counter
 
 import numpy as np

@@ -1,0 +1,106 @@
+"""Benchmark regression gate: compare a fresh bench run against a baseline.
+
+CI regenerates each benchmark's ``BENCH_*.json`` and compares its headline
+metric against the committed baseline::
+
+    python -m repro.observability.bench_gate \\
+        --baseline BENCH_parcut.json --candidate fresh/BENCH_parcut.json \\
+        --metric vector_over_scalar_speedup_median
+
+The tolerance policy is **warn-then-fail**, tuned for shared CI runners
+where wall-clock metrics are noisy:
+
+* ``candidate/baseline >= --warn-ratio`` (default 0.85): pass silently —
+  up to 15% below baseline is indistinguishable from runner noise;
+* ``--fail-ratio <= ratio < --warn-ratio``: pass, but emit a GitHub
+  ``::warning`` annotation — the metric drifted beyond noise; two PRs in
+  this band in a row deserve a look (and the baseline a refresh);
+* ``ratio < --fail-ratio`` (default 0.7): exit 1 — a >30% drop through a
+  noise-tolerant median is a real regression, not jitter.
+
+Improvements never fail the gate; commit the regenerated baseline when a
+speedup is intentional so the ratchet moves up.  Both files must validate
+against the bench-record schema and agree on the ``benchmark`` name, so
+the gate can never green-light a metric from the wrong benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .schema import SchemaError, validate_bench_file
+
+
+def compare(baseline: dict, candidate: dict, metric: str,
+            warn_ratio: float, fail_ratio: float) -> tuple[str, float, str]:
+    """Gate ``candidate[metric]`` against ``baseline[metric]``.
+
+    Returns ``(verdict, ratio, message)`` with verdict one of
+    ``"ok"``/``"warn"``/``"fail"``.  Raises :class:`SchemaError` when the
+    payloads are not comparable (different benchmarks, missing or
+    non-positive metric).
+    """
+    if baseline.get("benchmark") != candidate.get("benchmark"):
+        raise SchemaError(
+            f"benchmark mismatch: baseline is {baseline.get('benchmark')!r}, "
+            f"candidate is {candidate.get('benchmark')!r}"
+        )
+    values = []
+    for name, payload in (("baseline", baseline), ("candidate", candidate)):
+        value = payload.get(metric)
+        if not (isinstance(value, (int, float)) and value > 0):
+            raise SchemaError(f"{name} metric {metric!r} not positive: {value!r}")
+        values.append(float(value))
+    base, cand = values
+    ratio = cand / base
+    message = (
+        f"{candidate['benchmark']}: {metric} {cand:g} vs baseline {base:g} "
+        f"(ratio {ratio:.3f}, warn < {warn_ratio:g}, fail < {fail_ratio:g})"
+    )
+    if ratio < fail_ratio:
+        return "fail", ratio, message
+    if ratio < warn_ratio:
+        return "warn", ratio, message
+    return "ok", ratio, message
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.observability.bench_gate", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    ap.add_argument("--baseline", required=True, help="committed BENCH_*.json")
+    ap.add_argument("--candidate", required=True, help="freshly generated BENCH_*.json")
+    ap.add_argument("--metric", required=True,
+                    help="top-level metric key to compare (higher is better)")
+    ap.add_argument("--warn-ratio", type=float, default=0.85,
+                    help="warn below candidate/baseline of this (default: 0.85)")
+    ap.add_argument("--fail-ratio", type=float, default=0.7,
+                    help="fail below candidate/baseline of this (default: 0.7)")
+    args = ap.parse_args(argv)
+    if not 0 < args.fail_ratio <= args.warn_ratio:
+        ap.error("require 0 < --fail-ratio <= --warn-ratio")
+
+    try:
+        baseline = validate_bench_file(args.baseline)
+        candidate = validate_bench_file(args.candidate)
+        verdict, _ratio, message = compare(
+            baseline, candidate, args.metric, args.warn_ratio, args.fail_ratio
+        )
+    except (OSError, SchemaError) as exc:
+        print(f"bench gate error: {exc}", file=sys.stderr)
+        return 1
+    if verdict == "fail":
+        print(f"bench gate FAIL: {message}", file=sys.stderr)
+        return 1
+    if verdict == "warn":
+        # GitHub Actions annotation; plain noise elsewhere
+        print(f"::warning title=bench regression::{message}")
+        return 0
+    print(f"bench gate ok: {message}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

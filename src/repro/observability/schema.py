@@ -50,6 +50,13 @@ EVENT_KINDS = frozenset(
         "worker_report",  # per-worker counters from a parallel pass
         "worker_event",  # a worker was lost/crashed/timed out/corrupt
         "degradation",  # executor stepped down the ladder
+        # -- engine-level kinds (repro.engine): the request-granularity view
+        "engine_start",  # once per engine: pool size, cache size, start method
+        "engine_stop",  # once, on close: request counters, cache hit/miss
+        "request_start",  # per submitted request: digest, algorithm, n, m
+        "request_end",  # per request: status (ok/cached/timeout/...), seconds
+        "cache_hit",  # a request was served from the result cache
+        "pool_recycle",  # a pool worker was respawned, or the pool abandoned
     }
 )
 

@@ -2,7 +2,6 @@
 push-relabel gap heuristic, Stoer–Wagner phase structure."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import hao_orlin, max_flow, stoer_wagner
 from repro.generators import connected_gnm

@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.capforest import CapforestResult, capforest
+from repro.core.capforest import capforest
 from repro.generators import connected_gnm
 from repro.graph import from_edges
 

@@ -53,3 +53,88 @@ class TestCli:
         # workers is not a valid kwarg for stoer-wagner
         assert main(["--algorithm", "stoer-wagner", "--workers", "2", metis_file]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestCliBatch:
+    @pytest.fixture
+    def manifest(self, tmp_path, dumbbell, weighted_cycle):
+        import json
+
+        g1 = tmp_path / "dumbbell.graph"
+        g2 = tmp_path / "wcycle.graph"
+        write_metis(dumbbell, g1)
+        write_metis(weighted_cycle, g2)
+        path = tmp_path / "manifest.jsonl"
+        items = [
+            {"path": str(g1)},
+            {"path": str(g2), "algorithm": "parcut"},
+            {"path": str(g1)},  # repeat: served from the engine cache
+        ]
+        path.write_text("".join(json.dumps(i) + "\n" for i in items))
+        return path
+
+    def test_batch_solves_manifest_through_one_engine(self, manifest, capsys):
+        assert main(["--batch", str(manifest), "--pool-size", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "batch[0]" in out and "mincut=1" in out
+        assert "batch[1]" in out and "mincut=2" in out
+        assert "3 items, 0 failed" in out
+        assert "cache hits 1" in out
+
+    def test_batch_inline_pool_size_zero(self, manifest, capsys):
+        assert main(["--batch", str(manifest), "--pool-size", "0"]) == 0
+        assert "0 failed" in capsys.readouterr().out
+
+    def test_batch_per_item_exit_status(self, tmp_path, dumbbell, capsys):
+        import json
+
+        g1 = tmp_path / "g.graph"
+        write_metis(dumbbell, g1)
+        path = tmp_path / "manifest.jsonl"
+        items = [
+            {"path": str(g1)},
+            {"path": str(tmp_path / "missing.graph")},
+            {"path": str(g1), "bogus_kwarg": 1},
+        ]
+        path.write_text("".join(json.dumps(i) + "\n" for i in items))
+        # the batch keeps going; overall exit is the first failing item's code
+        assert main(["--batch", str(path), "--pool-size", "1"]) == 2
+        out = capsys.readouterr().out
+        assert "batch[0]" in out and "exit=0" in out
+        assert "batch[1]" in out and "batch[2]" in out
+        assert "3 items, 2 failed" in out
+
+    def test_batch_json_array_manifest(self, tmp_path, dumbbell, capsys):
+        import json
+
+        g1 = tmp_path / "g.graph"
+        write_metis(dumbbell, g1)
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps([{"path": str(g1)}]))
+        assert main(["--batch", str(path), "--pool-size", "0"]) == 0
+        assert "1 items, 0 failed" in capsys.readouterr().out
+
+    def test_batch_trace_validates(self, manifest, tmp_path, capsys):
+        from repro.observability.schema import validate_trace_file
+
+        sink = tmp_path / "engine.jsonl"
+        assert main(["--batch", str(manifest), "--pool-size", "1",
+                     "--trace", str(sink)]) == 0
+        summary = validate_trace_file(sink)
+        assert summary["by_kind"]["request_start"] == 3
+        assert summary["by_kind"]["cache_hit"] == 1
+        assert summary["by_kind"]["engine_stop"] == 1
+
+    def test_batch_bad_manifest(self, tmp_path, capsys):
+        path = tmp_path / "broken.jsonl"
+        path.write_text("{not json\n")
+        assert main(["--batch", str(path)]) == 2
+        assert "error reading manifest" in capsys.readouterr().err
+
+    def test_batch_requires_exactly_one_input(self, manifest, capsys):
+        assert main([]) == 2
+        assert main(["--batch", str(manifest), "also-a-path"]) == 2
+
+    def test_batch_rejects_single_solve_flags(self, manifest, capsys):
+        assert main(["--batch", str(manifest), "--print-side"]) == 2
+        assert "single-solve only" in capsys.readouterr().err

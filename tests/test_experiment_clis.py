@@ -4,7 +4,6 @@ Each ``python -m repro.experiments.<name>`` entry point runs at miniature
 scale and must emit its table(s) — protecting the argparse wiring and the
 printed formats EXPERIMENTS.md quotes."""
 
-import pytest
 
 
 class TestExperimentMains:

@@ -7,7 +7,6 @@ side certification on whatever comes out — the widest net in the suite.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import minimum_cut

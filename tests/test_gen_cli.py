@@ -1,6 +1,5 @@
 """Tests for the instance-generator CLI."""
 
-import pytest
 
 from repro.gen_cli import main
 from repro.graph import check_graph, is_connected, read_dimacs, read_edge_list, read_metis

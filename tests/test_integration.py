@@ -7,7 +7,6 @@ and each returned side must certify that value.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import minimum_cut

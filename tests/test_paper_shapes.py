@@ -16,7 +16,6 @@ direction and ordering claims that must hold regardless of machine:
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.baselines import hao_orlin, stoer_wagner

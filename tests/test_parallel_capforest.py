@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.parallel_capforest import EXECUTORS, parallel_capforest
+from repro.core.parallel_capforest import parallel_capforest
 from repro.generators import connected_gnm
 from repro.graph import from_edges
 

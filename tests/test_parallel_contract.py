@@ -1,0 +1,154 @@
+"""Tests for parallel graph contraction (paper §3.2).
+
+The contract under test: :func:`parallel_contract_by_labels` is
+*observationally identical* to the sequential
+:func:`~repro.graph.contract.contract_by_labels` — same CSR arrays, same
+label passthrough — with only the evaluation strategy differing.  Both
+paths emit key-sorted arrays, so equality is asserted on the arrays
+directly, not up to permutation.
+
+Three behaviours need direct coverage beyond parity:
+
+* chunk boundaries — worker counts that do not divide ``num_arcs`` evenly
+  must not double-count or drop boundary arcs;
+* the ``PARALLEL_CONTRACT_MIN_ARCS`` switch and the ``workers=1``
+  degenerate case delegate to the sequential path outright;
+* a lost aggregation chunk degrades the whole call to the sequential path
+  (contraction chunks are not droppable the way CAPFOREST marks are).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.graph.parallel_contract as pc_mod
+from repro.generators.gnm import connected_gnm
+from repro.graph.contract import contract_by_labels
+from repro.graph.parallel_contract import (
+    PARALLEL_CONTRACT_MIN_ARCS,
+    parallel_contract_by_labels,
+)
+
+
+def _dense_labels(n: int, blocks: int, rng_seed: int) -> np.ndarray:
+    rng = np.random.default_rng(rng_seed)
+    raw = rng.integers(0, blocks, size=n)
+    # densify: contract_by_labels requires labels covering 0..max
+    _, dense = np.unique(raw, return_inverse=True)
+    return dense.astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    # comfortably above PARALLEL_CONTRACT_MIN_ARCS (2 * 17000 = 34000 arcs)
+    g = connected_gnm(2000, 17_000, rng=7, weights=(1, 9))
+    assert g.num_arcs >= PARALLEL_CONTRACT_MIN_ARCS
+    return g
+
+
+def _assert_same_contraction(got, expected):
+    gg, gl = got
+    eg, el = expected
+    assert np.array_equal(gl, el)
+    assert np.array_equal(gg.xadj, eg.xadj)
+    assert np.array_equal(gg.adjncy, eg.adjncy)
+    assert np.array_equal(gg.adjwgt, eg.adjwgt)
+
+
+class TestParity:
+    @pytest.mark.parametrize("workers", [2, 3, 5, 7])
+    def test_matches_sequential_at_uneven_chunk_boundaries(self, big_graph, workers):
+        # 3/5/7 do not divide 34000 arcs evenly: boundary arcs fall inside
+        # chunks at odd offsets, the exact place double-count/drop bugs live
+        labels = _dense_labels(big_graph.n, 40, rng_seed=workers)
+        _assert_same_contraction(
+            parallel_contract_by_labels(big_graph, labels, workers=workers),
+            contract_by_labels(big_graph, labels),
+        )
+
+    def test_blocks_with_internal_arcs_only(self, big_graph):
+        # two blocks of consecutive vertices: most arcs are intra-block and
+        # must vanish; the few crossing arcs aggregate into one pair
+        labels = (np.arange(big_graph.n) >= big_graph.n // 2).astype(np.int64)
+        got_g, _ = parallel_contract_by_labels(big_graph, labels, workers=4)
+        exp_g, _ = contract_by_labels(big_graph, labels)
+        assert got_g.n == 2
+        _assert_same_contraction(
+            (got_g, labels), (exp_g, labels)
+        )
+
+    def test_identity_labels_preserve_graph(self, big_graph):
+        labels = np.arange(big_graph.n, dtype=np.int64)
+        got_g, _ = parallel_contract_by_labels(big_graph, labels, workers=4)
+        assert np.array_equal(got_g.xadj, big_graph.xadj)
+        assert np.array_equal(got_g.adjwgt, big_graph.adjwgt)
+
+
+class TestSequentialSwitch:
+    def _spy(self, monkeypatch):
+        calls = []
+        real = contract_by_labels
+
+        def spy(graph, labels):
+            calls.append(graph.num_arcs)
+            return real(graph, labels)
+
+        monkeypatch.setattr(pc_mod, "contract_by_labels", spy)
+        return calls
+
+    def test_small_graph_uses_sequential_path(self, monkeypatch, dumbbell):
+        calls = self._spy(monkeypatch)
+        assert dumbbell.num_arcs < PARALLEL_CONTRACT_MIN_ARCS
+        labels = _dense_labels(dumbbell.n, 3, rng_seed=0)
+        got = parallel_contract_by_labels(dumbbell, labels, workers=4)
+        assert calls == [dumbbell.num_arcs]
+        _assert_same_contraction(got, contract_by_labels(dumbbell, labels))
+
+    def test_workers_1_delegates_even_above_threshold(self, monkeypatch, big_graph):
+        calls = self._spy(monkeypatch)
+        labels = _dense_labels(big_graph.n, 10, rng_seed=1)
+        parallel_contract_by_labels(big_graph, labels, workers=1)
+        assert calls == [big_graph.num_arcs]
+
+    def test_above_threshold_stays_parallel(self, monkeypatch, big_graph):
+        calls = self._spy(monkeypatch)
+        labels = _dense_labels(big_graph.n, 10, rng_seed=2)
+        parallel_contract_by_labels(big_graph, labels, workers=4)
+        assert calls == []
+
+
+class TestFaultPaths:
+    def test_lost_chunk_degrades_to_sequential(self, monkeypatch, big_graph):
+        # fail numpy's grouping only on worker threads: every chunk comes
+        # back None and the call must fall through to the sequential path
+        class WorkerHostileNumpy:
+            def __getattr__(self, name):
+                return getattr(np, name)
+
+            @staticmethod
+            def unique(*args, **kwargs):
+                if threading.current_thread() is not threading.main_thread():
+                    raise RuntimeError("injected chunk loss")
+                return np.unique(*args, **kwargs)
+
+        monkeypatch.setattr(pc_mod, "np", WorkerHostileNumpy())
+        labels = _dense_labels(big_graph.n, 25, rng_seed=3)
+        _assert_same_contraction(
+            pc_mod.parallel_contract_by_labels(big_graph, labels, workers=3),
+            contract_by_labels(big_graph, labels),
+        )
+
+    def test_bad_labels_length(self, big_graph):
+        with pytest.raises(ValueError, match="labels length"):
+            parallel_contract_by_labels(
+                big_graph, np.zeros(3, dtype=np.int64), workers=2
+            )
+
+    def test_bad_worker_count(self, big_graph):
+        with pytest.raises(ValueError, match="workers"):
+            parallel_contract_by_labels(
+                big_graph, np.zeros(big_graph.n, dtype=np.int64), workers=0
+            )

@@ -6,7 +6,6 @@ import pytest
 from repro import minimum_cut
 from repro.core import ALGORITHMS, EXACT_ALGORITHMS, MinCutResult
 from repro.generators import connected_gnm
-from repro.graph import from_edges
 
 from .conftest import oracle_mincut
 

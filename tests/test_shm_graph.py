@@ -162,13 +162,24 @@ def test_parallel_capforest_processes_reports_start_method(start_method):
     assert res.n_marked <= g.n - 1
 
 
-def test_default_start_method_matches_platform():
+def test_default_start_method_matches_platform(monkeypatch):
     methods = mp.get_all_start_methods()
+    monkeypatch.delenv("REPRO_START_METHOD", raising=False)
     assert default_start_method() == ("fork" if "fork" in methods else "spawn")
     g = connected_gnm(60, 150, rng=6)
     lam = g.min_weighted_degree()[1]
     res = parallel_capforest(g, lam, workers=2, executor="processes", rng=2, timeout=120.0)
     assert res.start_method == default_start_method()
+
+
+def test_start_method_env_override(monkeypatch):
+    # CI's start-method matrix axis drives the parallel suites through this
+    for method in mp.get_all_start_methods():
+        monkeypatch.setenv("REPRO_START_METHOD", method)
+        assert default_start_method() == method
+    monkeypatch.setenv("REPRO_START_METHOD", "no-such-method")
+    with pytest.raises(ValueError, match="REPRO_START_METHOD"):
+        default_start_method()
 
 
 # ---------------------------------------------------------------------------

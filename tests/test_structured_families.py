@@ -7,7 +7,6 @@ depth), bipartite completeness (dense scans), hypercubes (uniform cuts),
 trees (λ = min edge weight), and weight-scaled copies (integer handling).
 """
 
-import numpy as np
 import pytest
 
 from repro import minimum_cut
