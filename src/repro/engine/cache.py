@@ -69,14 +69,21 @@ class ResultCache:
             return key in self._entries
 
     def clear(self) -> None:
+        """Drop every entry *and* reset the hit/miss counters, so a cleared
+        cache reports fresh ratios instead of the previous epoch's."""
         with self._lock:
             self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict:
         with self._lock:
+            lookups = self.hits + self.misses
             return {
                 "capacity": self.capacity,
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
+                "hit_ratio": round(self.hits / lookups, 6) if lookups else 0.0,
+                "miss_ratio": round(self.misses / lookups, 6) if lookups else 0.0,
             }

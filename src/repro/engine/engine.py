@@ -122,6 +122,34 @@ class EngineFuture:
 
     # -- caller side --------------------------------------------------------
 
+    @property
+    def req_id(self) -> int:
+        return self._request.req_id
+
+    @property
+    def digest(self) -> str:
+        """Canonical graph digest of the underlying request."""
+        return self._request.digest
+
+    @property
+    def algorithm(self) -> str:
+        return self._request.algorithm
+
+    def _timeout_message(self, timeout: float | None) -> str:
+        """Request context for a blown ``result()``/``exception()`` wait —
+        enough for a service 504 body or a log line to be actionable."""
+        req = self._request
+        now = time.monotonic()
+        if req.deadline is None:
+            deadline_part = "no deadline"
+        else:
+            deadline_part = f"deadline in {req.deadline - now:.3f}s"
+        return (
+            f"request {req.req_id} (algorithm={req.algorithm}, "
+            f"digest={req.digest[:12]}) not done after {timeout}s wait; "
+            f"{now - req.submitted_at:.3f}s since submit, {deadline_part}"
+        )
+
     def cancel(self) -> bool:
         """Cancel if still queued.  Returns ``False`` once solving has
         begun — in-flight work is never interrupted (its result simply
@@ -137,9 +165,7 @@ class EngineFuture:
     def result(self, timeout: float | None = None) -> MinCutResult:
         """Block for the result; raises the request's failure, if any."""
         if not self._event.wait(timeout):
-            raise TimeoutError(
-                f"request {self._request.req_id} not done after {timeout}s"
-            )
+            raise TimeoutError(self._timeout_message(timeout))
         if self._cancelled:
             raise RequestCancelled(f"request {self._request.req_id} was cancelled")
         if self._exception is not None:
@@ -149,9 +175,7 @@ class EngineFuture:
 
     def exception(self, timeout: float | None = None) -> BaseException | None:
         if not self._event.wait(timeout):
-            raise TimeoutError(
-                f"request {self._request.req_id} not done after {timeout}s"
-            )
+            raise TimeoutError(self._timeout_message(timeout))
         return self._exception
 
 
@@ -369,7 +393,13 @@ class SolverEngine:
         return results
 
     def stats(self) -> dict:
-        """Snapshot of request counters, cache, planes, and pool health."""
+        """Snapshot of request counters, cache, planes, and pool health.
+
+        ``queue_depth`` (requests accepted but not yet dispatched) and
+        ``inflight`` (requests currently occupying a worker) are the two
+        numbers admission control upstream needs: their sum is the
+        engine's total outstanding work.
+        """
         with self._lock:
             counters = dict(self._counters)
             pending = len(self._pending)
@@ -377,6 +407,7 @@ class SolverEngine:
         return {
             **counters,
             "pending": pending,
+            "queue_depth": pending,
             "inflight": len(self._inflight),
             "cache": self._cache.stats(),
             "planes": self._planes.stats(),

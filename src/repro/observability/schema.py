@@ -57,6 +57,15 @@ EVENT_KINDS = frozenset(
         "request_end",  # per request: status (ok/cached/timeout/...), seconds
         "cache_hit",  # a request was served from the result cache
         "pool_recycle",  # a pool worker was respawned, or the pool abandoned
+        # -- service-level kinds (repro.service): the network front-end view
+        "service_start",  # once per server: host, port, admission budgets
+        "service_stop",  # once, on shutdown: request counters
+        "request_admitted",  # an HTTP request passed admission control
+        "request_shed",  # an HTTP request was load-shed: shed_reason, queue_depth
+        "request_done",  # an HTTP request finished: status code, seconds, retries
+        "client_disconnect",  # a client vanished mid-request; work was cancelled
+        "drain_begin",  # graceful drain started: inflight count at entry
+        "drain_end",  # graceful drain finished: drained/cancelled counts
     }
 )
 

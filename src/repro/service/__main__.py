@@ -1,0 +1,123 @@
+"""``python -m repro.service`` — serve minimum cuts over HTTP.
+
+Owns the whole process lifecycle: builds the engine and the service,
+prints the bound address (machine-parseable first line), and wires
+SIGTERM/SIGINT to the graceful-drain state machine — stop accepting,
+finish or deadline-out inflight requests, flush the trace sink, exit 0.
+
+Examples::
+
+    python -m repro.service --port 8377 --pool-size 4
+    python -m repro.service --port 0 --max-inflight 16 --trace service.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from ..core.api import ALGORITHMS
+from ..engine import SolverEngine
+from .server import MinCutService, ServiceConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Exact minimum cuts as an HTTP/JSON service.",
+    )
+    ap.add_argument("--host", default="127.0.0.1", help="bind address")
+    ap.add_argument("--port", type=int, default=8377,
+                    help="TCP port (0 = ephemeral; the bound port is printed)")
+    ap.add_argument("--pool-size", type=int, default=2, metavar="N",
+                    help="persistent engine solve workers (0 = in-process)")
+    ap.add_argument("--cache-size", type=int, default=128, metavar="N",
+                    help="engine result-cache entries (0 disables)")
+    ap.add_argument("--algorithm", choices=sorted(ALGORITHMS),
+                    default="noi-viecut",
+                    help="default algorithm for requests naming none")
+    ap.add_argument("--max-inflight", type=int, default=64, metavar="N",
+                    help="global admitted solve units before shedding (429)")
+    ap.add_argument("--per-client-inflight", type=int, default=16, metavar="N",
+                    help="admitted units per API key / peer before shedding")
+    ap.add_argument("--default-timeout-ms", type=int, default=30_000,
+                    metavar="MS", help="deadline applied when a request "
+                    "names no timeout_ms")
+    ap.add_argument("--drain-grace", type=float, default=10.0, metavar="S",
+                    help="seconds inflight requests get to finish on "
+                    "SIGTERM before cancellation")
+    ap.add_argument("--trace", metavar="PATH", default=None,
+                    help="write the service+engine JSONL event trace to PATH")
+    ap.add_argument("--allow-test-faults", action="store_true",
+                    help="accept _test_fault solver kwargs (deterministic "
+                    "fault injection for smoke tests; never in production)")
+    return ap
+
+
+async def _amain(args) -> int:
+    tracer = None
+    if args.trace is not None:
+        from ..observability import Tracer
+
+        try:
+            tracer = Tracer(sink=args.trace)
+        except OSError as exc:
+            print(f"error opening trace sink {args.trace}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        per_client_inflight=args.per_client_inflight,
+        default_timeout_ms=args.default_timeout_ms,
+        drain_grace_s=args.drain_grace,
+        allow_test_faults=args.allow_test_faults,
+    )
+    engine = SolverEngine(
+        pool_size=args.pool_size,
+        cache_size=args.cache_size,
+        default_algorithm=args.algorithm,
+        tracer=tracer,
+    )
+    service = MinCutService(engine, config, tracer=tracer)
+    try:
+        await service.start()
+    except OSError as exc:
+        print(f"error binding {args.host}:{args.port}: {exc}", file=sys.stderr)
+        engine.close()
+        if tracer is not None:
+            tracer.close()
+        return 2
+
+    print(f"listening on {args.host}:{service.port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(sig, stop.set)
+    await stop.wait()
+    print("drain: signal received, shutting down gracefully", flush=True)
+    summary = await service.drain()
+    await service.close()
+    engine.close()
+    if tracer is not None:
+        tracer.close()
+    print(
+        f"drain: {summary['drained']} finished, {summary['cancelled']} "
+        f"cancelled in {summary['seconds']:.3f}s",
+        flush=True,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return asyncio.run(_amain(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,134 @@
+"""Admission control: bounded global and per-client inflight budgets.
+
+The service's first robustness rule is that it never accepts more work
+than it has bounded memory for: every solve request must pass this
+controller before anything is parsed into a graph or submitted to the
+engine.  A request that cannot be admitted is *shed* immediately — the
+caller gets a 429 with ``Retry-After`` and a structured
+``shed_reason``/``queue_depth`` body, instead of joining an unbounded
+queue whose latency has already blown every deadline.
+
+Two budgets, checked in order:
+
+* **global** — at most ``max_inflight`` admitted units across all
+  clients (a ``solve_many``/``batch`` request of *k* items weighs *k*
+  units, so one batch cannot smuggle unbounded work past the gate);
+* **per-client** — at most ``per_client_inflight`` units per client
+  identity (``X-API-Key`` header when present, else peer address), so one
+  greedy client saturating its own queue cannot starve the rest.
+
+``begin_drain()`` flips the controller into drain mode: every subsequent
+admit sheds with reason ``"draining"`` while already-admitted work runs to
+completion — the admission half of the graceful-drain state machine.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+#: shed reasons the controller can return (closed set, used in traces,
+#: response bodies, and the load harness's shed accounting)
+SHED_REASONS = ("draining", "global_inflight", "client_queue")
+
+
+@dataclass
+class Admission:
+    """One admission decision."""
+
+    admitted: bool
+    shed_reason: str | None  # one of SHED_REASONS when not admitted
+    queue_depth: int  # global admitted units at decision time
+
+
+class AdmissionController:
+    """Thread-safe inflight accounting; see module docstring."""
+
+    def __init__(self, max_inflight: int = 64,
+                 per_client_inflight: int = 16) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if per_client_inflight < 1:
+            raise ValueError(
+                f"per_client_inflight must be >= 1, got {per_client_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self.per_client_inflight = per_client_inflight
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._per_client: dict[str, int] = {}
+        self._draining = False
+        self.admitted_total = 0
+        self.shed_total = 0
+        self.shed_by_reason = {reason: 0 for reason in SHED_REASONS}
+
+    def try_admit(self, client: str, weight: int = 1) -> Admission:
+        """Admit ``weight`` units for ``client``, or shed with a reason.
+
+        An admitted decision **must** be paired with exactly one
+        :meth:`release` of the same weight once the request resolves.
+        """
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1, got {weight}")
+        with self._lock:
+            if self._draining:
+                return self._shed("draining")
+            if self._inflight + weight > self.max_inflight:
+                return self._shed("global_inflight")
+            client_load = self._per_client.get(client, 0)
+            if client_load + weight > self.per_client_inflight:
+                return self._shed("client_queue")
+            self._inflight += weight
+            self._per_client[client] = client_load + weight
+            self.admitted_total += 1
+            return Admission(True, None, self._inflight)
+
+    def _shed(self, reason: str) -> Admission:
+        # caller holds the lock
+        self.shed_total += 1
+        self.shed_by_reason[reason] += 1
+        return Admission(False, reason, self._inflight)
+
+    def release(self, client: str, weight: int = 1) -> None:
+        """Return ``weight`` admitted units (request finished or failed)."""
+        with self._lock:
+            if self._inflight < weight:
+                raise ValueError(
+                    f"release of {weight} exceeds inflight {self._inflight}"
+                )
+            self._inflight -= weight
+            remaining = self._per_client.get(client, 0) - weight
+            if remaining < 0:
+                raise ValueError(f"client {client!r} released more than admitted")
+            if remaining == 0:
+                self._per_client.pop(client, None)
+            else:
+                self._per_client[client] = remaining
+
+    def begin_drain(self) -> int:
+        """Shed everything from now on; returns the inflight count at entry."""
+        with self._lock:
+            self._draining = True
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "per_client_inflight": self.per_client_inflight,
+                "inflight": self._inflight,
+                "clients": len(self._per_client),
+                "draining": self._draining,
+                "admitted_total": self.admitted_total,
+                "shed_total": self.shed_total,
+                "shed_by_reason": dict(self.shed_by_reason),
+            }

@@ -1,0 +1,154 @@
+"""A small stdlib client for the mincut service (tests, benchmarks, CI).
+
+Wraps :mod:`http.client` — no new dependencies — with the service's JSON
+conventions: every call returns ``(status, headers, body)`` with the body
+already parsed.  :func:`fire_concurrent` is the shared load-generation
+primitive of the benchmark harness and the CI smoke driver: a thread pool
+of keep-alive connections replaying a payload list, recording per-request
+status and latency so p50/p99/throughput/shed-rate fall out of one pass.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+
+def graph_payload(graph) -> dict:
+    """The wire form ``{"n": .., "edges": [[u, v, w], ..]}`` of a CSR graph."""
+    us, vs, ws = graph.edge_arrays()
+    return {
+        "n": int(graph.n),
+        "edges": [[int(u), int(v), int(w)] for u, v, w in zip(us, vs, ws)],
+    }
+
+
+class ServiceClient:
+    """One keep-alive connection to a running service."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0,
+                 api_key: str | None = None) -> None:
+        self.host = host
+        self.port = port
+        self.api_key = api_key
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def request(self, method: str, path: str, payload: dict | None = None,
+                headers: dict[str, str] | None = None):
+        """One round trip; returns ``(status, headers_dict, parsed_body)``."""
+        body = None
+        send_headers = dict(headers or {})
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            send_headers.setdefault("Content-Type", "application/json")
+        if self.api_key is not None:
+            send_headers.setdefault("X-API-Key", self.api_key)
+        try:
+            self._conn.request(method, path, body=body, headers=send_headers)
+            resp = self._conn.getresponse()
+            raw = resp.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # one reconnect: the server closes idle/drained keep-alives
+            self._conn.close()
+            self._conn.connect()
+            self._conn.request(method, path, body=body, headers=send_headers)
+            resp = self._conn.getresponse()
+            raw = resp.read()
+        parsed = json.loads(raw) if raw else None
+        return resp.status, dict(resp.getheaders()), parsed
+
+    def solve(self, graph_or_payload, **fields):
+        """``POST /v1/solve``; ``graph_or_payload`` is a CSR graph or an
+        already-encoded ``{"n", "edges"}`` dict.  Extra fields (``algorithm``,
+        ``timeout_ms``, ``kwargs``, ``cache``, ``include_side``) pass through."""
+        graph = graph_or_payload
+        if not isinstance(graph, dict):
+            graph = graph_payload(graph)
+        return self.request("POST", "/v1/solve", {"graph": graph, **fields})
+
+    def solve_many(self, items: list[dict], **fields):
+        return self.request("POST", "/v1/solve_many",
+                            {"items": items, **fields})
+
+    def batch(self, items: list[dict], **fields):
+        return self.request("POST", "/v1/batch", {"items": items, **fields})
+
+    def healthz(self):
+        return self.request("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        status, _headers, body = self.request("GET", "/v1/stats")
+        if status != 200:
+            raise RuntimeError(f"/v1/stats returned {status}: {body}")
+        return body
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def fire_concurrent(host: str, port: int, requests: list[dict], *,
+                    concurrency: int = 8, api_key: str | None = None,
+                    timeout: float = 60.0) -> list[dict]:
+    """Replay ``requests`` through ``concurrency`` keep-alive connections.
+
+    Each request dict is ``{"path": "/v1/solve", "payload": {...}}``
+    (``method`` defaults to POST, GETs send no payload).  Returns one
+    record per request, in input order::
+
+        {"index", "status", "latency_s", "body", "retry_after"}
+
+    ``status`` is ``0`` for transport errors (connection refused/reset),
+    which the harness counts separately from HTTP-level sheds.
+    """
+    results: list[dict | None] = [None] * len(requests)
+    cursor = {"next": 0}
+    lock = threading.Lock()
+
+    def worker() -> None:
+        client = ServiceClient(host, port, timeout=timeout, api_key=api_key)
+        try:
+            while True:
+                with lock:
+                    index = cursor["next"]
+                    if index >= len(requests):
+                        return
+                    cursor["next"] = index + 1
+                spec = requests[index]
+                t0 = time.perf_counter()
+                try:
+                    status, headers, body = client.request(
+                        spec.get("method", "POST"), spec["path"],
+                        spec.get("payload"),
+                    )
+                except (OSError, http.client.HTTPException, ValueError) as exc:
+                    results[index] = {
+                        "index": index, "status": 0, "body": {"error": str(exc)},
+                        "latency_s": time.perf_counter() - t0,
+                        "retry_after": None,
+                    }
+                    continue
+                results[index] = {
+                    "index": index,
+                    "status": status,
+                    "body": body,
+                    "latency_s": time.perf_counter() - t0,
+                    "retry_after": headers.get("Retry-After"),
+                }
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker, daemon=True)
+               for _ in range(max(1, concurrency))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return [r for r in results if r is not None]

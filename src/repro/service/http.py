@@ -1,0 +1,230 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+The service deliberately speaks a small, hand-rolled subset of HTTP/1.1
+instead of pulling in a framework: the repo's no-new-heavy-deps rule, plus
+the robustness properties we need — bounded header/body sizes, explicit
+keep-alive control, and a reader that can *push bytes back* so the server
+can watch a connection for disconnect while a solve is in flight without
+eating a pipelined follow-up request — are all easier to guarantee over a
+couple hundred lines we own than to retrofit onto a framework.
+
+Supported subset: request line + headers + ``Content-Length`` bodies,
+``Connection: keep-alive``/``close``, JSON responses.  Not supported (and
+rejected with clear 4xx/501 responses rather than misparsed): chunked
+request bodies, upgrades, multiline headers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+#: request-line / header-line length bound (bytes)
+MAX_LINE_BYTES = 16384
+
+#: header count bound per request
+MAX_HEADERS = 100
+
+#: default request body bound (bytes); the server config can override
+MAX_BODY_BYTES = 8 << 20
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    499: "Client Closed Request",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A malformed or oversized request; carries the HTTP status to send."""
+
+    def __init__(self, status: int, detail: str) -> None:
+        self.status = status
+        self.detail = detail
+        super().__init__(f"{status} {STATUS_REASONS.get(status, '')}: {detail}")
+
+
+class Request:
+    """One parsed HTTP request (headers lowercased, body raw bytes)."""
+
+    def __init__(self, method: str, path: str, headers: dict[str, str],
+                 body: bytes) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    def json(self):
+        """The body parsed as JSON; :class:`HttpError` 400 on failure."""
+        if not self.body:
+            raise HttpError(400, "empty body where JSON was expected")
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"body is not valid JSON: {exc}") from None
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Request({self.method} {self.path}, {len(self.body)}B)"
+
+
+class BufferedStream:
+    """A :class:`asyncio.StreamReader` with an explicit pushback buffer.
+
+    The server's disconnect watch reads one chunk from the connection while
+    a solve is in flight; if that chunk turns out to be a pipelined next
+    request rather than EOF, it is pushed back here and the next
+    :func:`read_request` sees it first.  All reads are bounded.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader) -> None:
+        self._reader = reader
+        self._buf = b""
+
+    def push(self, data: bytes) -> None:
+        """Prepend ``data`` so the very next read sees it first."""
+        self._buf = data + self._buf
+
+    def feed(self, data: bytes) -> None:
+        """Append ``data`` behind anything already buffered.
+
+        The disconnect watch reads the *underlying* socket while a solve
+        is in flight; whatever it receives is fed here in arrival order
+        and parsed as the next request once the response is written.
+        """
+        self._buf += data
+
+    async def read_underlying(self, n: int = 4096) -> bytes:
+        """One read straight off the socket, bypassing the pushback buffer
+        (the disconnect watch must see EOF even while bytes sit buffered)."""
+        return await self._reader.read(n)
+
+    async def read_chunk(self, n: int = 4096) -> bytes:
+        """One read of up to ``n`` bytes (buffer first); ``b""`` at EOF."""
+        if self._buf:
+            out, self._buf = self._buf[:n], self._buf[n:]
+            return out
+        return await self._reader.read(n)
+
+    async def read_line(self) -> bytes | None:
+        """One CRLF/LF-terminated line without the terminator.
+
+        Returns ``None`` on EOF before any byte; raises :class:`HttpError`
+        431 when the line exceeds :data:`MAX_LINE_BYTES` and 400 on EOF
+        mid-line.
+        """
+        while True:
+            idx = self._buf.find(b"\n")
+            if idx >= 0:
+                if idx > MAX_LINE_BYTES:
+                    raise HttpError(431, "header line exceeds the size bound")
+                line, self._buf = self._buf[:idx], self._buf[idx + 1:]
+                return line.rstrip(b"\r")
+            if len(self._buf) > MAX_LINE_BYTES:
+                raise HttpError(431, "header line exceeds the size bound")
+            chunk = await self._reader.read(4096)
+            if not chunk:
+                if self._buf:
+                    raise HttpError(400, "connection closed mid-header")
+                return None
+            self._buf += chunk
+
+    async def read_exactly(self, n: int) -> bytes:
+        """Exactly ``n`` body bytes; :class:`HttpError` 400 on early EOF."""
+        parts = []
+        remaining = n
+        while remaining > 0:
+            chunk = await self.read_chunk(min(remaining, 65536))
+            if not chunk:
+                raise HttpError(400, "connection closed mid-body")
+            parts.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(parts)
+
+
+async def read_request(stream: BufferedStream,
+                       max_body: int = MAX_BODY_BYTES) -> Request | None:
+    """Parse one request from ``stream``; ``None`` on clean EOF between
+    requests (the keep-alive loop's normal exit)."""
+    line = await stream.read_line()
+    if line is None:
+        return None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line: {line[:80]!r}")
+    method, path, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    while True:
+        hline = await stream.read_line()
+        if hline is None:
+            raise HttpError(400, "connection closed mid-header")
+        if not hline:
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise HttpError(431, "too many headers")
+        name, sep, value = hline.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {hline[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise HttpError(501, "chunked request bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "non-integer Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"body of {length} bytes exceeds the "
+                                 f"{max_body}-byte bound")
+        body = await stream.read_exactly(length)
+    return Request(method, path, headers, body)
+
+
+def encode_response(status: int, payload, *, keep_alive: bool = True,
+                    extra_headers: dict[str, str] | None = None) -> bytes:
+    """Serialize one JSON (or raw-bytes) response."""
+    if isinstance(payload, bytes):
+        body, ctype = payload, "application/octet-stream"
+    else:
+        body = (json.dumps(payload, separators=(",", ":")) + "\n").encode()
+        ctype = "application/json"
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {ctype}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def write_response(writer: asyncio.StreamWriter, status: int, payload,
+                         *, keep_alive: bool = True,
+                         extra_headers: dict[str, str] | None = None) -> None:
+    """Write and flush one response; swallow nothing (callers handle
+    :class:`ConnectionError` as a client disconnect)."""
+    writer.write(encode_response(status, payload, keep_alive=keep_alive,
+                                 extra_headers=extra_headers))
+    await writer.drain()

@@ -1,0 +1,772 @@
+"""Mincut-as-a-service: a hardened asyncio front end on :class:`SolverEngine`.
+
+:class:`MinCutService` serves exact minimum cuts over HTTP/JSON with the
+robustness properties a long-lived service boundary needs *designed in*,
+not bolted on:
+
+* **Admission control & load shedding** — every solve request passes a
+  bounded global inflight budget and a per-client bounded queue
+  (:mod:`~repro.service.admission`) *before* any graph bytes are parsed.
+  Work that does not fit is shed immediately with ``429`` +
+  ``Retry-After`` and a structured ``shed_reason``/``queue_depth`` body —
+  the queue never grows unboundedly and admitted requests keep their
+  latency budget.
+* **Deadline propagation** — the client's ``timeout_ms`` (body field or
+  ``X-Timeout-Ms`` header, defaulted and clamped by config) becomes an
+  absolute deadline mapped onto the engine's per-request deadlines, so a
+  blown budget cancels the *solve* (recycling the worker it occupied)
+  within one engine dispatch cycle, and the client gets a ``504`` whose
+  body names the digest, algorithm, and elapsed/deadline.
+* **Disconnect cancellation** — while a solve is in flight the connection
+  is watched; a client that vanishes has its engine request cancelled
+  (queued work immediately, running work via its deadline) instead of
+  burning pool time for nobody.
+* **Bounded retry with jittered backoff** — failures are classified with
+  the runtime fault taxonomy: a pooled worker crash
+  (:class:`~repro.runtime.errors.WorkerCrashed`, the ``pool_recycle``
+  path) is transient and retried up to ``retry_attempts`` times with
+  exponential jittered backoff inside the request's deadline; graph
+  validation errors are deterministic and never retried; blown deadlines
+  never retry (the budget is already spent).
+* **Graceful drain** — :meth:`MinCutService.drain` (wired to SIGTERM by
+  ``python -m repro.service``) walks a three-state machine
+  ``RUNNING → DRAINING → STOPPED``: stop accepting (admission sheds with
+  reason ``"draining"``, the listener closes), let inflight requests
+  finish or deadline-out under a grace period, cancel stragglers, flush
+  the trace sink, exit 0.
+
+Every lifecycle step emits the service event kinds of the closed
+observability taxonomy (``service_start/stop``,
+``request_admitted/shed/done``, ``client_disconnect``,
+``drain_begin/end``), so ``python -m repro.observability.validate``
+covers service traces end to end.
+
+Threading model: the asyncio event loop owns all service state (counters,
+active-request set, drain state).  Engine waits run on worker threads via
+``asyncio.to_thread`` — bounded by the admission budget — and touch only
+the per-request :class:`_RequestCtx` (lock-protected) plus the thread-safe
+engine/admission objects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from ..engine import (
+    EngineClosed,
+    EngineFuture,
+    RequestCancelled,
+    SolverEngine,
+    UnkeyableRequest,
+)
+from ..graph.builder import from_edges
+from ..graph.io import read_edge_list, read_metis
+from ..graph.validate import GraphValidationError
+from ..runtime.errors import RuntimeFault, WorkerCrashed, WorkerTimeout
+from .admission import AdmissionController
+from .http import (
+    BufferedStream,
+    HttpError,
+    Request,
+    read_request,
+    write_response,
+)
+
+#: drain state machine (see module docstring)
+RUNNING, DRAINING, STOPPED = "running", "draining", "stopped"
+
+
+class ClientDisconnected(ConnectionError):
+    """The client hung up while its request was in flight."""
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of the service front end (all bounded-by-default)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; read the bound port from `service.port`
+    max_inflight: int = 64  # global admitted solve units
+    per_client_inflight: int = 16  # admitted units per API key / peer
+    default_timeout_ms: int = 30_000  # applied when the client names none
+    max_timeout_ms: int = 300_000  # client-supplied budgets are clamped here
+    drain_grace_s: float = 10.0  # inflight grace before drain cancels
+    max_body_bytes: int = 8 << 20
+    max_batch_items: int = 256  # items per solve_many/batch request
+    retry_attempts: int = 2  # extra attempts after a retryable fault
+    retry_backoff_s: float = 0.05  # base backoff, doubled per retry, jittered
+    retry_after_s: int = 1  # advertised in 429/503 Retry-After headers
+    keepalive_timeout_s: float = 30.0  # idle keep-alive connection lifetime
+    allow_test_faults: bool = False  # accept `_test_fault` kwargs (CI smoke)
+
+
+def graph_from_json(obj) -> "object":
+    """Build a CSR graph from the wire format ``{"n": N, "edges": [[u,v,w?],..]}``."""
+    if not isinstance(obj, dict):
+        raise HttpError(400, "graph must be an object with 'n' and 'edges'")
+    n = obj.get("n")
+    edges = obj.get("edges")
+    if not isinstance(n, int) or isinstance(n, bool) or n < 2:
+        raise HttpError(400, f"graph 'n' must be an integer >= 2, got {n!r}")
+    if not isinstance(edges, list) or not edges:
+        raise HttpError(400, "graph 'edges' must be a non-empty list")
+    us, vs, ws = [], [], []
+    for i, edge in enumerate(edges):
+        if not isinstance(edge, (list, tuple)) or len(edge) not in (2, 3):
+            raise HttpError(400, f"edge {i} must be [u, v] or [u, v, w]")
+        us.append(edge[0])
+        vs.append(edge[1])
+        ws.append(edge[2] if len(edge) == 3 else 1)
+    try:
+        return from_edges(n, us, vs, ws)
+    except (ValueError, TypeError, OverflowError) as exc:
+        raise HttpError(400, f"invalid graph: {exc}") from None
+
+
+def classify_failure(exc: BaseException) -> tuple[str, int]:
+    """Map one solve failure to ``(kind, http_status)`` via the runtime
+    fault taxonomy.  ``retryable`` marks the transient pool-recycle class;
+    everything classified ``invalid`` is deterministic and must never be
+    retried."""
+    if isinstance(exc, (WorkerTimeout, TimeoutError)):
+        return "timeout", 504
+    if isinstance(exc, WorkerCrashed):
+        return "retryable", 500
+    if isinstance(exc, RequestCancelled):
+        return "cancelled", 503
+    if isinstance(exc, EngineClosed):
+        return "unavailable", 503
+    if isinstance(exc, (GraphValidationError, UnkeyableRequest, ValueError,
+                        TypeError, KeyError)):
+        return "invalid", 400
+    if isinstance(exc, RuntimeFault):
+        return "fault", 500
+    return "internal", 500
+
+
+class _RequestCtx:
+    """Loop-side handle for one admitted solve request.
+
+    Holds every engine future the request has spawned so the disconnect
+    watch and the drain state machine can cancel outstanding work from the
+    event loop while the blocking solver thread keeps running.
+    """
+
+    def __init__(self, rid: int, client: str, route: str, weight: int,
+                 deadline_abs: float) -> None:
+        self.rid = rid
+        self.client = client
+        self.route = route
+        self.weight = weight
+        self.deadline_abs = deadline_abs
+        self.t0 = time.monotonic()
+        self._lock = threading.Lock()
+        self._futures: list[EngineFuture] = []
+        self.cancelled = False
+        self.retries = 0
+
+    def register(self, fut: EngineFuture) -> None:
+        with self._lock:
+            self._futures.append(fut)
+            if self.cancelled:
+                fut.cancel()
+
+    def cancel(self) -> None:
+        with self._lock:
+            self.cancelled = True
+            futures = list(self._futures)
+        for fut in futures:
+            fut.cancel()
+
+    def last_submit_info(self) -> dict:
+        """Digest/algorithm of the most recent engine attempt (for 504
+        bodies and logs), or an empty dict before any submit."""
+        with self._lock:
+            if not self._futures:
+                return {}
+            fut = self._futures[-1]
+        return {"digest": fut.digest, "algorithm": fut.algorithm}
+
+    @property
+    def elapsed(self) -> float:
+        return round(time.monotonic() - self.t0, 6)
+
+
+class MinCutService:
+    """The HTTP/JSON front end; see module docstring.
+
+    The service borrows the engine — closing the service never closes the
+    engine (``python -m repro.service`` owns and closes both).
+    """
+
+    def __init__(self, engine: SolverEngine, config: ServiceConfig | None = None,
+                 tracer=None, *, jitter_seed: int | None = None) -> None:
+        self._engine = engine
+        self.config = config or ServiceConfig()
+        self._tracer = tracer
+        self._admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            per_client_inflight=self.config.per_client_inflight,
+        )
+        self._rng = random.Random(jitter_seed)
+        self._server: asyncio.base_events.Server | None = None
+        self._state = STOPPED
+        self._active: set[_RequestCtx] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._next_rid = 0
+        self._drain_done: asyncio.Event | None = None
+        self._drain_summary: dict = {"drained": 0, "cancelled": 0,
+                                     "seconds": 0.0}
+        # loop-thread-only counters (read via /v1/stats in the same loop)
+        self._counters = {
+            "connections": 0, "requests": 0, "admitted": 0, "shed": 0,
+            "done_ok": 0, "done_error": 0, "disconnects": 0, "retries": 0,
+            "drain_cancelled": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start serving; idempotent against double starts."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self._state = RUNNING
+        self._drain_done = asyncio.Event()
+        self._emit(
+            "service_start",
+            host=self.config.host,
+            port=self.port,
+            max_inflight=self.config.max_inflight,
+            per_client_inflight=self.config.per_client_inflight,
+            drain_grace_s=self.config.drain_grace_s,
+            pool_size=self._engine.stats()["pool"]["size"],
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` ephemeral binds)."""
+        assert self._server is not None, "service not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The live admission controller (read-only observability hook)."""
+        return self._admission
+
+    async def drain(self, grace: float | None = None) -> dict:
+        """Graceful drain: stop admitting, let inflight finish or
+        deadline-out within ``grace`` seconds, cancel stragglers.
+
+        Returns ``{"drained": .., "cancelled": .., "seconds": ..}``.
+        Idempotent: concurrent calls await the first drain's completion.
+        """
+        if self._state == STOPPED and self._server is None:
+            return {"drained": 0, "cancelled": 0, "seconds": 0.0}
+        if self._state == DRAINING:
+            await self._drain_done.wait()
+            return dict(self._drain_summary)
+        grace = self.config.drain_grace_s if grace is None else grace
+        t0 = time.monotonic()
+        self._state = DRAINING
+        active_at_begin = len(self._active)
+        inflight = self._admission.begin_drain()
+        self._emit("drain_begin", inflight=inflight,
+                   active_requests=active_at_begin, grace_s=grace)
+        # stop accepting new connections; existing ones shed via admission
+        self._server.close()
+        await self._server.wait_closed()
+
+        drained_in_grace = await self._wait_active_empty(grace)
+        cancelled = 0
+        if not drained_in_grace:
+            for ctx in list(self._active):
+                ctx.cancel()
+                cancelled += 1
+            self._counters["drain_cancelled"] += cancelled
+            # cancelled futures resolve within one engine dispatch cycle;
+            # give the handlers a short, bounded unwind window
+            await self._wait_active_empty(5.0)
+        seconds = round(time.monotonic() - t0, 6)
+        summary = {
+            "drained": active_at_begin - cancelled,
+            "cancelled": cancelled,
+            "seconds": seconds,
+        }
+        self._emit("drain_end", **summary)
+        if self._tracer is not None:
+            self._tracer.flush()
+        self._drain_summary = dict(summary)
+        self._drain_done.set()
+        return summary
+
+    async def _wait_active_empty(self, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        while self._active:
+            if time.monotonic() >= deadline:
+                return False
+            await asyncio.sleep(0.02)
+        return True
+
+    async def close(self) -> None:
+        """Drain (if still running), close connections, emit the stop event."""
+        if self._state == RUNNING or self._state == DRAINING:
+            await self.drain()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._state != STOPPED:
+            self._state = STOPPED
+            self._emit("service_stop", **self._counters)
+            if self._tracer is not None:
+                self._tracer.flush()
+        self._server = None
+
+    # -- connection handling -------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._counters["connections"] += 1
+        stream = BufferedStream(reader)
+        peer = writer.get_extra_info("peername")
+        peer_host = peer[0] if isinstance(peer, tuple) else str(peer)
+        try:
+            await self._serve_connection(stream, writer, peer_host)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(self, stream: BufferedStream,
+                                writer: asyncio.StreamWriter,
+                                peer_host: str) -> None:
+        while True:
+            try:
+                req = await asyncio.wait_for(
+                    read_request(stream, self.config.max_body_bytes),
+                    timeout=self.config.keepalive_timeout_s,
+                )
+            except (asyncio.TimeoutError, TimeoutError):
+                return  # idle keep-alive connection: close quietly
+            except HttpError as exc:
+                await write_response(writer, exc.status,
+                                     {"error": exc.detail}, keep_alive=False)
+                return
+            if req is None:
+                return  # clean EOF between requests
+            self._counters["requests"] += 1
+            client = req.headers.get("x-api-key") or peer_host
+            keep_alive = req.keep_alive and self._state == RUNNING
+            try:
+                status, payload, extra = await self._dispatch(req, stream, client)
+            except ClientDisconnected:
+                self._counters["disconnects"] += 1
+                return
+            except HttpError as exc:
+                status, payload, extra = exc.status, {"error": exc.detail}, None
+            try:
+                await write_response(writer, status, payload,
+                                     keep_alive=keep_alive, extra_headers=extra)
+            except (ConnectionError, OSError):
+                self._counters["disconnects"] += 1
+                return
+            if not keep_alive:
+                return
+
+    # -- routing -------------------------------------------------------------
+
+    async def _dispatch(self, req: Request, stream: BufferedStream,
+                        client: str) -> tuple[int, dict, dict | None]:
+        route = (req.method, req.path)
+        if route == ("GET", "/v1/healthz"):
+            return self._healthz()
+        if route == ("GET", "/v1/stats"):
+            return 200, self.stats(), None
+        if route == ("POST", "/v1/solve"):
+            return await self._handle_solve(req, stream, client)
+        if route == ("POST", "/v1/solve_many"):
+            return await self._handle_many(req, stream, client, batch=False)
+        if route == ("POST", "/v1/batch"):
+            return await self._handle_many(req, stream, client, batch=True)
+        if req.path in ("/v1/healthz", "/v1/stats", "/v1/solve",
+                        "/v1/solve_many", "/v1/batch"):
+            raise HttpError(405, f"{req.method} not allowed on {req.path}")
+        raise HttpError(404, f"no route {req.path}")
+
+    def _healthz(self) -> tuple[int, dict, None]:
+        engine_stats = self._engine.stats()
+        body = {
+            "status": self._state,
+            "inflight": self._admission.inflight,
+            "engine_queue_depth": engine_stats["queue_depth"],
+            "engine_inflight": engine_stats["inflight"],
+        }
+        # a draining server answers 503 so load balancers stop routing to it
+        return (200 if self._state == RUNNING else 503), body, None
+
+    def stats(self) -> dict:
+        """The ``/v1/stats`` document: service, admission, engine."""
+        return {
+            "state": self._state,
+            "service": dict(self._counters),
+            "admission": self._admission.stats(),
+            "engine": self._engine.stats(),
+        }
+
+    # -- solve routes --------------------------------------------------------
+
+    def _deadline_from(self, req: Request, body: dict) -> tuple[float, int]:
+        """Resolve the request deadline: body ``timeout_ms`` wins over the
+        ``X-Timeout-Ms`` header, both clamped to ``max_timeout_ms``."""
+        raw = body.get("timeout_ms", req.headers.get("x-timeout-ms"))
+        if raw is None:
+            timeout_ms = self.config.default_timeout_ms
+        else:
+            try:
+                timeout_ms = int(raw)
+            except (TypeError, ValueError):
+                raise HttpError(400, f"timeout_ms must be an integer, "
+                                     f"got {raw!r}") from None
+            if timeout_ms <= 0:
+                raise HttpError(400, f"timeout_ms must be positive, got {timeout_ms}")
+        timeout_ms = min(timeout_ms, self.config.max_timeout_ms)
+        return time.monotonic() + timeout_ms / 1000.0, timeout_ms
+
+    def _shed_response(self, route: str, client: str, shed_reason: str,
+                       queue_depth: int) -> tuple[int, dict, dict]:
+        self._counters["shed"] += 1
+        self._emit("request_shed", route=route, client=client,
+                   shed_reason=shed_reason, queue_depth=queue_depth,
+                   retry_after_s=self.config.retry_after_s)
+        status = 503 if shed_reason == "draining" else 429
+        body = {
+            "error": "request shed",
+            "shed_reason": shed_reason,
+            "queue_depth": queue_depth,
+        }
+        return status, body, {"Retry-After": str(self.config.retry_after_s)}
+
+    def _admit(self, route: str, client: str, weight: int,
+               deadline_abs: float, timeout_ms: int):
+        """Admission decision + tracing; returns a ctx or a shed response."""
+        decision = self._admission.try_admit(client, weight)
+        if not decision.admitted:
+            return None, self._shed_response(route, client,
+                                             decision.shed_reason,
+                                             decision.queue_depth)
+        self._counters["admitted"] += 1
+        rid, self._next_rid = self._next_rid, self._next_rid + 1
+        ctx = _RequestCtx(rid, client, route, weight, deadline_abs)
+        self._active.add(ctx)
+        self._emit("request_admitted", rid=rid, route=route, client=client,
+                   items=weight, timeout_ms=timeout_ms,
+                   queue_depth=decision.queue_depth)
+        return ctx, None
+
+    def _parse_solve_fields(self, item: dict) -> tuple[str | None, dict, bool]:
+        """Common per-solve fields: algorithm, engine kwargs, cache flag."""
+        algorithm = item.get("algorithm")
+        if algorithm is not None and not isinstance(algorithm, str):
+            raise HttpError(400, f"algorithm must be a string, got {algorithm!r}")
+        kwargs = item.get("kwargs", {})
+        if not isinstance(kwargs, dict):
+            raise HttpError(400, "kwargs must be an object")
+        kwargs = dict(kwargs)
+        if not self.config.allow_test_faults:
+            for key in kwargs:
+                if key.startswith("_"):
+                    raise HttpError(400, f"unknown solver kwarg {key!r}")
+        cache = item.get("cache", True)
+        if not isinstance(cache, bool):
+            raise HttpError(400, f"cache must be a boolean, got {cache!r}")
+        return algorithm, kwargs, cache
+
+    async def _handle_solve(self, req: Request, stream: BufferedStream,
+                            client: str) -> tuple[int, dict, dict | None]:
+        body = req.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        deadline_abs, timeout_ms = self._deadline_from(req, body)
+        ctx, shed = self._admit("/v1/solve", client, 1, deadline_abs, timeout_ms)
+        if ctx is None:
+            return shed
+        try:
+            algorithm, kwargs, cache = self._parse_solve_fields(body)
+            graph = graph_from_json(body.get("graph"))
+            include_side = bool(body.get("include_side", False))
+        except HttpError:
+            self._request_done(ctx, 400)
+            raise
+        solve_task = asyncio.create_task(asyncio.to_thread(
+            self._solve_blocking, ctx, graph, algorithm, kwargs, cache
+        ))
+        solve_task.add_done_callback(_reap_task)
+        try:
+            result = await self._await_with_disconnect(solve_task, stream, ctx)
+        except ClientDisconnected:
+            self._on_disconnect(ctx, solve_task)
+            raise
+        except Exception as exc:  # noqa: BLE001 - classified into HTTP statuses
+            kind, status = classify_failure(exc)
+            self._request_done(ctx, status)
+            return status, self._failure_body(exc, kind, ctx, timeout_ms), None
+        payload = self._result_body(result, include_side, ctx)
+        self._request_done(ctx, 200)
+        return 200, payload, None
+
+    async def _handle_many(self, req: Request, stream: BufferedStream,
+                           client: str, *, batch: bool
+                           ) -> tuple[int, dict, dict | None]:
+        route = "/v1/batch" if batch else "/v1/solve_many"
+        body = req.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        items = body.get("items")
+        if not isinstance(items, list) or not items:
+            raise HttpError(400, "'items' must be a non-empty list")
+        if len(items) > self.config.max_batch_items:
+            raise HttpError(413, f"{len(items)} items exceed the "
+                                 f"{self.config.max_batch_items}-item bound")
+        deadline_abs, timeout_ms = self._deadline_from(req, body)
+        ctx, shed = self._admit(route, client, len(items), deadline_abs,
+                                timeout_ms)
+        if ctx is None:
+            return shed
+        try:
+            defaults_algorithm, defaults_kwargs, defaults_cache = \
+                self._parse_solve_fields(body)
+            parsed = [
+                self._parse_item(item, i, batch, defaults_algorithm,
+                                 defaults_kwargs, defaults_cache)
+                for i, item in enumerate(items)
+            ]
+        except HttpError:
+            self._request_done(ctx, 400)
+            raise
+        solve_task = asyncio.create_task(asyncio.to_thread(
+            self._solve_many_blocking, ctx, parsed
+        ))
+        solve_task.add_done_callback(_reap_task)
+        try:
+            entries = await self._await_with_disconnect(solve_task, stream, ctx)
+        except ClientDisconnected:
+            self._on_disconnect(ctx, solve_task)
+            raise
+        except Exception as exc:  # noqa: BLE001 - classified into HTTP statuses
+            kind, status = classify_failure(exc)
+            self._request_done(ctx, status)
+            return status, self._failure_body(exc, kind, ctx, timeout_ms), None
+        failed = sum(1 for e in entries if "error" in e)
+        self._request_done(ctx, 200)
+        return 200, {"results": entries, "items": len(entries),
+                     "failed": failed}, None
+
+    def _parse_item(self, item, index: int, batch: bool,
+                    default_algorithm, default_kwargs: dict,
+                    default_cache: bool) -> dict:
+        """One solve_many/batch item → a normalized spec for the collector."""
+        if not isinstance(item, dict):
+            raise HttpError(400, f"item {index} must be an object")
+        algorithm, kwargs, cache = self._parse_solve_fields(
+            {"algorithm": item.get("algorithm", default_algorithm),
+             "kwargs": {**default_kwargs, **item.get("kwargs", {})}
+             if isinstance(item.get("kwargs", {}), dict) else item.get("kwargs"),
+             "cache": item.get("cache", default_cache)}
+        )
+        spec = {"algorithm": algorithm, "kwargs": kwargs, "cache": cache,
+                "include_side": bool(item.get("include_side", False))}
+        if batch:
+            path = item.get("path")
+            if not isinstance(path, str) or not path:
+                raise HttpError(400, f"batch item {index} has no 'path'")
+            spec["path"] = path
+            spec["format"] = item.get("format", "metis")
+            if spec["format"] not in ("metis", "edgelist"):
+                raise HttpError(400, f"batch item {index} format must be "
+                                     f"'metis' or 'edgelist'")
+        else:
+            spec["graph"] = graph_from_json(item.get("graph"))
+        return spec
+
+    # -- blocking solve paths (worker threads) -------------------------------
+
+    def _solve_blocking(self, ctx: _RequestCtx, graph, algorithm: str | None,
+                        kwargs: dict, cache: bool):
+        """Submit + await one engine solve with bounded jittered retries.
+
+        Runs on a ``to_thread`` worker.  Retries only the transient
+        pool-recycle class (``WorkerCrashed``); invalid input and blown
+        deadlines surface immediately.  Every attempt re-checks the
+        remaining deadline budget and the disconnect flag.
+        """
+        attempts_left = self.config.retry_attempts
+        backoff = self.config.retry_backoff_s
+        while True:
+            if ctx.cancelled:
+                raise RequestCancelled("client went away")
+            remaining = ctx.deadline_abs - time.monotonic()
+            if remaining <= 0:
+                raise WorkerTimeout(-1, ctx.elapsed)
+            fut = self._engine.submit(graph, algorithm, deadline=remaining,
+                                      cache=cache, **kwargs)
+            ctx.register(fut)
+            try:
+                # the engine enforces the real deadline; the +1s margin only
+                # guards against a wedged dispatcher, mapping to 504 anyway
+                return fut.result(timeout=remaining + 1.0)
+            except WorkerCrashed:
+                if attempts_left <= 0:
+                    raise
+                attempts_left -= 1
+                ctx.retries += 1
+                sleep_s = backoff * (0.5 + self._rng.random())
+                backoff *= 2.0
+                if time.monotonic() + sleep_s >= ctx.deadline_abs:
+                    raise
+                time.sleep(sleep_s)
+
+    def _solve_many_blocking(self, ctx: _RequestCtx,
+                             specs: list[dict]) -> list[dict]:
+        """Collect a whole solve_many/batch request; per-item error entries."""
+        entries = []
+        for spec in specs:
+            try:
+                graph = spec.get("graph")
+                if graph is None:  # batch item: read server-side
+                    reader = (read_metis if spec["format"] == "metis"
+                              else read_edge_list)
+                    graph = reader(spec["path"])
+                result = self._solve_blocking(
+                    ctx, graph, spec["algorithm"], spec["kwargs"], spec["cache"]
+                )
+            except Exception as exc:  # noqa: BLE001 - per-item entries
+                kind, _status = classify_failure(exc)
+                if isinstance(exc, OSError):
+                    kind = "invalid"
+                entry = {"error": str(exc), "kind": kind}
+                if "path" in spec:
+                    entry["path"] = spec["path"]
+                entries.append(entry)
+                if isinstance(exc, RequestCancelled):
+                    # the client is gone or the drain cancelled us: stop
+                    # burning pool time on the remaining items
+                    entries.extend(
+                        {"error": "cancelled before solving", "kind": "cancelled"}
+                        for _ in range(len(specs) - len(entries))
+                    )
+                    break
+            else:
+                entry = self._result_body(result, spec["include_side"], ctx)
+                if "path" in spec:
+                    entry["path"] = spec["path"]
+                entries.append(entry)
+        return entries
+
+    # -- await / disconnect / completion helpers -----------------------------
+
+    async def _await_with_disconnect(self, solve_task: asyncio.Task,
+                                     stream: BufferedStream,
+                                     ctx: _RequestCtx):
+        """Await the solve while watching the connection for EOF.
+
+        Bytes that arrive mid-solve (a pipelined next request) are fed back
+        into the stream buffer; EOF raises :class:`ClientDisconnected`.
+        """
+        while True:
+            watch = asyncio.create_task(stream.read_underlying())
+            try:
+                done, _pending = await asyncio.wait(
+                    {solve_task, watch}, return_when=asyncio.FIRST_COMPLETED
+                )
+            finally:
+                if not watch.done():
+                    watch.cancel()
+                    await asyncio.gather(watch, return_exceptions=True)
+            if solve_task in done:
+                if watch.done() and not watch.cancelled():
+                    exc = watch.exception()
+                    if exc is None and watch.result():
+                        stream.feed(watch.result())
+                return solve_task.result()
+            data = watch.result()
+            if not data:
+                raise ClientDisconnected(f"request {ctx.rid}: client hung up")
+            stream.feed(data)
+
+    def _on_disconnect(self, ctx: _RequestCtx, solve_task: asyncio.Task) -> None:
+        """Cancel a vanished client's work; settle accounting when the
+        blocking solver actually unwinds."""
+        ctx.cancel()
+        self._emit("client_disconnect", rid=ctx.rid, route=ctx.route,
+                   client=ctx.client, seconds=ctx.elapsed)
+
+        def settle(_task: asyncio.Task) -> None:
+            self._settle(ctx)
+
+        if solve_task.done():
+            self._settle(ctx)
+        else:
+            solve_task.add_done_callback(settle)
+
+    def _settle(self, ctx: _RequestCtx) -> None:
+        """Release the admission units exactly once per request."""
+        if ctx in self._active:
+            self._active.discard(ctx)
+            self._admission.release(ctx.client, ctx.weight)
+
+    def _request_done(self, ctx: _RequestCtx, status: int) -> None:
+        self._settle(ctx)
+        self._counters["done_ok" if status < 400 else "done_error"] += 1
+        self._counters["retries"] += ctx.retries
+        self._emit("request_done", rid=ctx.rid, route=ctx.route,
+                   status=status, seconds=ctx.elapsed, retries=ctx.retries)
+
+    def _result_body(self, result, include_side: bool, ctx: _RequestCtx) -> dict:
+        body = {
+            "value": int(result.value),
+            "algorithm": result.algorithm,
+            "n": int(result.n),
+            "seconds": ctx.elapsed,
+        }
+        if include_side and result.side is not None:
+            smaller = min(result.partition(), key=len)
+            body["side"] = [int(v) for v in smaller]
+        return body
+
+    def _failure_body(self, exc: BaseException, kind: str, ctx: _RequestCtx,
+                      timeout_ms: int) -> dict:
+        body = {"error": str(exc), "kind": kind, "elapsed_s": ctx.elapsed,
+                "retries": ctx.retries}
+        if kind in ("timeout", "retryable", "fault"):
+            body.update(ctx.last_submit_info())
+        if kind == "timeout":
+            body["timeout_ms"] = timeout_ms
+        return body
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self._tracer is not None:
+            self._tracer.emit(kind, **fields)
+
+
+def _reap_task(task: asyncio.Task) -> None:
+    """Retrieve (and drop) a task's exception so nothing logs as unretrieved."""
+    if not task.cancelled():
+        task.exception()

@@ -13,6 +13,9 @@ planned, never random.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 import pytest
 
@@ -92,12 +95,42 @@ class TestResultCache:
         cache.put("k", _result())
         got = cache.get("k")
         assert got is not None and got.value == 3
-        assert cache.stats() == {"capacity": 4, "entries": 1, "hits": 1, "misses": 0}
+        assert cache.stats() == {
+            "capacity": 4, "entries": 1, "hits": 1, "misses": 0,
+            "hit_ratio": 1.0, "miss_ratio": 0.0,
+        }
 
     def test_miss_counts(self):
         cache = ResultCache(4)
         assert cache.get("absent") is None
-        assert cache.stats()["misses"] == 1
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["miss_ratio"] == 1.0 and stats["hit_ratio"] == 0.0
+
+    def test_ratios_before_any_lookup_are_zero(self):
+        stats = ResultCache(4).stats()
+        assert stats["hit_ratio"] == 0.0 and stats["miss_ratio"] == 0.0
+
+    def test_ratios_track_mixed_lookups(self):
+        cache = ResultCache(4)
+        cache.put("k", _result())
+        cache.get("k")
+        cache.get("k")
+        cache.get("absent")  # 2 hits, 1 miss
+        stats = cache.stats()
+        assert stats["hit_ratio"] == round(2 / 3, 6)
+        assert stats["miss_ratio"] == round(1 / 3, 6)
+
+    def test_clear_resets_counters(self):
+        cache = ResultCache(4)
+        cache.put("k", _result())
+        cache.get("k")
+        cache.get("absent")
+        cache.clear()
+        assert cache.stats() == {
+            "capacity": 4, "entries": 0, "hits": 0, "misses": 0,
+            "hit_ratio": 0.0, "miss_ratio": 0.0,
+        }
 
     def test_returned_results_are_mutation_isolated(self):
         cache = ResultCache(4)
@@ -393,6 +426,116 @@ class TestEngineLifecycle:
             with pytest.raises(TimeoutError):
                 fut.result(timeout=0.05)
             assert fut.result(timeout=30).value == 1
+
+    def test_future_timeout_message_carries_request_context(self, dumbbell):
+        with SolverEngine(pool_size=1) as eng:
+            fut = eng.submit(
+                dumbbell, cache=False, deadline=5.0,
+                _test_fault={"test_fault": "hang", "sleep_seconds": 0.5},
+            )
+            with pytest.raises(TimeoutError) as exc_info:
+                fut.result(timeout=0.05)
+            message = str(exc_info.value)
+            # a blown wait must be actionable without the future in hand
+            assert fut.digest[:12] in message
+            assert fut.algorithm in message
+            assert "since submit" in message
+            assert "deadline in" in message
+            fut.result(timeout=30)
+
+    def test_future_timeout_message_without_deadline(self, dumbbell):
+        with SolverEngine(pool_size=1) as eng:
+            fut = eng.submit(
+                dumbbell, cache=False,
+                _test_fault={"test_fault": "hang", "sleep_seconds": 0.5},
+            )
+            with pytest.raises(TimeoutError, match="no deadline"):
+                fut.exception(timeout=0.05)
+            fut.result(timeout=30)
+
+    def test_stats_expose_queue_depth_and_inflight(self, dumbbell, weighted_cycle):
+        with SolverEngine(pool_size=1) as eng:
+            idle = eng.stats()
+            assert idle["queue_depth"] == 0 and idle["inflight"] == 0
+            blocker = eng.submit(
+                dumbbell, cache=False,
+                _test_fault={"test_fault": "hang", "sleep_seconds": 0.6},
+            )
+            queued = eng.submit(weighted_cycle, cache=False)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                stats = eng.stats()
+                if stats["inflight"] == 1 and stats["queue_depth"] >= 1:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail(f"never observed busy stats: {eng.stats()}")
+            assert blocker.result(timeout=30).value == 1
+            assert queued.result(timeout=30).value == 2
+            settled = eng.stats()
+            assert settled["queue_depth"] == 0 and settled["inflight"] == 0
+
+
+# ---------------------------------------------------------------------------
+# concurrent cancellation: half a batch cancelled mid-flight
+# ---------------------------------------------------------------------------
+
+
+def _shm_names() -> set[str]:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # non-Linux: fall back to no leak tracking
+        return set()
+
+
+class TestConcurrentCancellation:
+    def test_cancel_half_of_concurrent_batch_pool_stays_healthy(self, dumbbell):
+        # 8 distinct graphs through a 1-worker pool: the head request hangs
+        # briefly, so the tail sits queued and is cancellable.
+        graphs = [ring(8 + i) for i in range(8)]
+        shm_before = _shm_names()
+        with SolverEngine(pool_size=1, max_recycles=8) as eng:
+            head = eng.submit(
+                dumbbell, cache=False,
+                _test_fault={"test_fault": "hang", "sleep_seconds": 0.6},
+            )
+            futures = [eng.submit(g, cache=False) for g in graphs]
+            victims, survivors = futures[::2], futures[1::2]
+            cancelled = [fut.cancel() for fut in victims]
+            assert all(cancelled)  # all were still queued behind the hang
+            for fut in victims:
+                assert fut.cancelled() and fut.done()
+                with pytest.raises(RequestCancelled):
+                    fut.result(timeout=5)
+            # the survivors and the hanging head still complete exactly
+            assert head.result(timeout=30).value == 1
+            # a weight-2 ring cuts at two edges: λ = 4
+            assert [f.result(timeout=30).value for f in survivors] == [4] * 4
+            stats = eng.stats()
+            assert stats["cancelled"] == len(victims)
+            assert stats["pool"]["recycles"] == 0  # cancel is not a crash
+            assert stats["queue_depth"] == 0 and stats["inflight"] == 0
+        assert _shm_names() <= shm_before  # no orphaned planes after close
+
+    def test_cancellation_with_deadline_recycles_cleanly(self, dumbbell, path4):
+        # mix cancellation with a deadline-blown hang: the worker is
+        # recycled, queued victims are cancelled, and nothing leaks
+        shm_before = _shm_names()
+        with SolverEngine(pool_size=1, max_recycles=8) as eng:
+            doomed = eng.submit(
+                dumbbell, cache=False, deadline=0.3,
+                _test_fault={"test_fault": "hang", "sleep_seconds": 60},
+            )
+            victim = eng.submit(path4, cache=False)
+            survivor = eng.submit(path4, cache=False, rng=1)
+            assert victim.cancel() is True
+            with pytest.raises(WorkerTimeout):
+                doomed.result(timeout=30)
+            assert survivor.result(timeout=30).value == 1
+            stats = eng.stats()
+            assert stats["pool"]["recycles"] == 1
+            assert stats["cancelled"] == 1
+        assert _shm_names() <= shm_before
 
 
 # ---------------------------------------------------------------------------

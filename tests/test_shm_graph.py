@@ -227,3 +227,31 @@ def test_corrupt_pair_row_rejected_not_merged():
     assert any(ev["kind"] == "corrupt" for ev in res.events)
     # the corrupt worker's report is discarded along with its pairs
     assert len(res.workers) == 1
+
+
+def test_engine_cancellation_storm_leaks_no_segments():
+    # the engine's plane registry exports one shm segment per distinct
+    # graph; cancelling half a concurrent batch mid-flight (while the
+    # head request blows its deadline and recycles the worker) must
+    # still release and unlink every plane by close()
+    from repro.engine import RequestCancelled, SolverEngine
+
+    graphs = [connected_gnm(30 + i, 90, rng=10 + i) for i in range(6)]
+    before = _shm_names()
+    with SolverEngine(pool_size=1, max_recycles=8) as eng:
+        doomed = eng.submit(
+            graphs[0], cache=False, deadline=0.3,
+            _test_fault={"test_fault": "hang", "sleep_seconds": 60},
+        )
+        futures = [eng.submit(g, cache=False) for g in graphs[1:]]
+        for fut in futures[::2]:
+            assert fut.cancel() is True
+        with pytest.raises(Exception) as exc_info:
+            doomed.result(timeout=30)
+        assert "deadline" in str(exc_info.value)
+        for fut in futures[1::2]:
+            assert fut.result(timeout=60).value >= 1
+        for fut in futures[::2]:
+            with pytest.raises(RequestCancelled):
+                fut.result(timeout=5)
+    assert _shm_names() <= before
