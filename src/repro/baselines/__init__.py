@@ -1,6 +1,6 @@
 """Baseline algorithms the paper evaluates against (plus extensions)."""
 
-from .brute_force import brute_force_mincut
+from .brute_force import brute_force_all_mincuts, brute_force_mincut
 from .gomory_hu import GomoryHuTree, gomory_hu_tree
 from .hao_orlin import hao_orlin
 from .karger_stein import karger_stein
@@ -9,6 +9,7 @@ from .push_relabel import MaxFlowResult, max_flow, reverse_arcs
 from .stoer_wagner import stoer_wagner
 
 __all__ = [
+    "brute_force_all_mincuts",
     "brute_force_mincut",
     "GomoryHuTree",
     "gomory_hu_tree",

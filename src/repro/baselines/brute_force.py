@@ -46,3 +46,39 @@ def brute_force_mincut(graph: Graph, *, compute_side: bool = True) -> MinCutResu
         side = (best_subset & powers) != 0
     assert best_value is not None
     return MinCutResult(best_value, side, n, "brute-force", {"cuts_enumerated": (1 << (n - 1)) - 1})
+
+
+def brute_force_all_mincuts(graph: Graph) -> tuple[int, list[np.ndarray]]:
+    """Every minimum cut of ``graph`` by enumeration (``n <= 22``).
+
+    Returns ``(value, masks)`` where each mask is a canonical boolean
+    side over the vertices — ``mask[0]`` is always ``False`` (each cut is
+    represented by the side *not* containing vertex 0) — and the list is
+    sorted by ``mask.tobytes()`` so two enumerations compare with ``==``.
+    """
+    n = graph.n
+    if n < 2:
+        raise ValueError(f"minimum cut requires at least 2 vertices, got {n}")
+    if n > MAX_BRUTE_FORCE_N:
+        raise ValueError(f"brute force limited to n <= {MAX_BRUTE_FORCE_N}, got {n}")
+
+    W = np.zeros((n, n), dtype=np.int64)
+    src = graph.arc_sources()
+    W[src, graph.adjncy] = graph.adjwgt
+
+    powers = 1 << np.arange(n, dtype=np.int64)
+    best_value: int | None = None
+    best_masks: list[np.ndarray] = []
+    # subsets over vertices 1..n-1: bit 0 clear keeps vertex 0 on the
+    # complement side, which *is* the canonical form — no postprocessing
+    for subset in range(2, 1 << n, 2):
+        mask = (subset & powers) != 0
+        value = int(W[np.ix_(mask, ~mask)].sum())
+        if best_value is None or value < best_value:
+            best_value = value
+            best_masks = [mask]
+        elif value == best_value:
+            best_masks.append(mask)
+    assert best_value is not None
+    best_masks.sort(key=lambda m: m.tobytes())
+    return best_value, best_masks

@@ -1,0 +1,13 @@
+"""Cactus representation of all minimum cuts.
+
+:func:`build_cactus` constructs the Dinitz–Karzanov–Lomonosov cactus of
+every minimum cut (contraction-safe preprocessing + exhaustive min-s-t-cut
+enumeration + recursive assembly); :class:`Cactus` is the picklable query
+structure (``num_min_cuts``, cut enumeration, ``most_balanced_cut``,
+``in_cut`` membership arrays).
+"""
+
+from .build import build_cactus
+from .cactus import Cactus, CactusError
+
+__all__ = ["Cactus", "CactusError", "build_cactus"]

@@ -1,0 +1,538 @@
+"""Cactus construction: preprocess, enumerate every minimum cut, recurse.
+
+The pipeline (Noe, "Algorithm Engineering for Cut Problems"; HNSS §3):
+
+1. **Contraction-safe preprocessing.**  Run CAPFOREST with the *fixed*
+   bound ``λ̂ = λ + 1`` and contract every marked edge.  A marked edge
+   ``e`` certifies ``λ(G, e) ≥ λ + 1 > λ`` (HNSS Lemma 3.2 with a strict
+   threshold), so its endpoints lie on the same side of **every** cut of
+   value ``≤ λ`` — unlike the solver's usual ``λ̂ = λ`` marking, which
+   only promises to keep *some* minimum cut alive.  Iterated to a
+   fixpoint this shrinks the graph without losing a single minimum cut.
+
+2. **Exhaustive enumeration on the contracted graph.**  Every global
+   minimum cut separates vertex 0 from some ``t``, and any such cut is a
+   minimum ``(0, t)``-cut (its value λ cannot exceed the s-t cut value,
+   which cannot be below the global minimum).  For each ``t`` whose
+   max-flow value equals λ we enumerate **all** minimum s-t cuts à la
+   Picard–Queyranne: the s-sides are exactly the residual-successor-closed
+   vertex sets, i.e. closed unions of SCCs of the residual digraph.  The
+   union over ``t`` (deduplicated) is the complete family of minimum
+   cuts — at most :math:`\\binom{n}{2}` of them, so output-polynomial.
+
+3. **Recursive cactus assembly from the explicit family.**  Crossing
+   cuts are grouped into components; a component of crossing cuts spans a
+   circular partition whose consecutive runs are exactly the component's
+   cuts plus the single-atom cuts (Dinitz–Karzanov–Lomonosov), giving a
+   cactus *cycle*; a non-crossing cut gives a *tree edge*.  Every other
+   cut nests inside exactly one atom and is pushed into the recursive
+   subproblem for that atom, with a super-vertex standing in for the rest
+   of the world; the cactus node that ends up holding the super-vertex is
+   where the atom's sub-cactus attaches to the structure.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import numpy as np
+
+from ..baselines.push_relabel import max_flow, reverse_arcs
+from ..core.capforest import capforest
+from ..graph import connected_components, contract_by_union_find
+from ..graph.contract import compose_labels
+from ..graph.csr import Graph
+from .cactus import Cactus, CactusError
+
+__all__ = ["build_cactus"]
+
+
+# ---------------------------------------------------------------------------
+# step 1: contraction preserving all minimum cuts
+# ---------------------------------------------------------------------------
+
+def _preprocess(graph: Graph, lam: int) -> tuple[Graph, np.ndarray, int]:
+    """Contract to a fixpoint without destroying any cut of value <= lam.
+
+    Returns ``(contracted_graph, labels, passes)`` with ``labels`` mapping
+    original vertices to contracted ids.
+    """
+    h = graph
+    labels = np.arange(graph.n, dtype=np.int64)
+    passes = 0
+    while h.n > 2:
+        res = capforest(h, lam + 1, fixed_bound=True, start=0, rng=0)
+        h2, inner = contract_by_union_find(h, res.uf)
+        passes += 1
+        if h2.n == h.n:
+            break
+        labels = compose_labels(labels, inner)
+        h = h2
+    return h, labels, passes
+
+
+# ---------------------------------------------------------------------------
+# step 2: enumerate every minimum cut of the contracted graph
+# ---------------------------------------------------------------------------
+
+def _residual_scc(n: int, src: list, dst: list, live: list) -> np.ndarray:
+    """SCC labels of the digraph with arcs ``(src[i], dst[i])`` where
+    ``live[i]``, via iterative Kosaraju (recursion-free)."""
+    fwd: list[list[int]] = [[] for _ in range(n)]
+    bwd: list[list[int]] = [[] for _ in range(n)]
+    for i, alive in enumerate(live):
+        if alive:
+            fwd[src[i]].append(dst[i])
+            bwd[dst[i]].append(src[i])
+
+    order: list[int] = []
+    seen = [False] * n
+    for root in range(n):
+        if seen[root]:
+            continue
+        # post-order via explicit stack of (vertex, next-child-index)
+        seen[root] = True
+        stack = [(root, 0)]
+        while stack:
+            v, i = stack[-1]
+            if i < len(fwd[v]):
+                stack[-1] = (v, i + 1)
+                u = fwd[v][i]
+                if not seen[u]:
+                    seen[u] = True
+                    stack.append((u, 0))
+            else:
+                stack.pop()
+                order.append(v)
+
+    comp = np.full(n, -1, dtype=np.int64)
+    c = 0
+    for root in reversed(order):
+        if comp[root] >= 0:
+            continue
+        comp[root] = c
+        dq = deque([root])
+        while dq:
+            v = dq.popleft()
+            for u in bwd[v]:
+                if comp[u] < 0:
+                    comp[u] = c
+                    dq.append(u)
+        c += 1
+    return comp
+
+
+def _closed_sets(num_scc: int, succ: list[set[int]], mandatory: set[int],
+                 forbidden: set[int]) -> list[frozenset[int]]:
+    """All successor-closed SCC sets containing ``mandatory``, avoiding
+    ``forbidden``."""
+    pred: list[set[int]] = [set() for _ in range(num_scc)]
+    for c, outs in enumerate(succ):
+        for d in outs:
+            pred[d].add(c)
+
+    free = set(range(num_scc)) - mandatory - forbidden
+    out: list[frozenset[int]] = []
+
+    # Invariants that keep the two branches below sound: a mandatory SCC
+    # never reaches a free one (mandatory is successor-closed) and a free
+    # SCC never reaches a forbidden one (it would reach t and be forbidden
+    # itself), so including a free SCC only ever forces other free SCCs,
+    # and excluding one only ever drops other free SCCs.
+    def descend(chosen: set[int], undecided: list[int]) -> None:
+        if not undecided:
+            out.append(frozenset(chosen))
+            return
+        c = undecided[0]
+        # exclude c: every free SCC that reaches c must be excluded too
+        dropped = {c}
+        dq = deque([c])
+        while dq:
+            v = dq.popleft()
+            for p in pred[v]:
+                if p in free and p not in dropped:
+                    dropped.add(p)
+                    dq.append(p)
+        descend(chosen, [u for u in undecided if u not in dropped])
+        # include c: every free SCC that c reaches must be included too
+        forced = {c}
+        dq = deque([c])
+        while dq:
+            v = dq.popleft()
+            for s in succ[v]:
+                if s in free and s not in forced:
+                    forced.add(s)
+                    dq.append(s)
+        descend(chosen | forced, [u for u in undecided if u not in forced])
+
+    descend(set(mandatory), sorted(free))
+    return out
+
+
+def _enumerate_min_cuts(h: Graph, lam: int) -> tuple[list[frozenset[int]], dict]:
+    """All global minimum cuts of ``h`` as 0-free canonical sides.
+
+    Each cut is returned as the frozenset of vertices on the side **not**
+    containing vertex 0.
+    """
+    n = h.n
+    rev = reverse_arcs(h)
+    src = h.arc_sources().tolist()
+    dst = h.adjncy.tolist()
+    cap = h.adjwgt.tolist()
+    m = len(dst)
+
+    cuts: set[frozenset[int]] = set()
+    flows = 0
+    closures = 0
+    for t in range(1, n):
+        mf = max_flow(h, 0, t, rev=rev)
+        flows += 1
+        if int(mf.value) != lam:
+            continue
+        flow = mf.flow.tolist()
+        live = [cap[i] - flow[i] > 0 for i in range(m)]
+        comp = _residual_scc(n, src, dst, live)
+        num_scc = int(comp.max()) + 1
+        succ: list[set[int]] = [set() for _ in range(num_scc)]
+        for i in range(m):
+            if live[i] and comp[src[i]] != comp[dst[i]]:
+                succ[comp[src[i]]].add(int(comp[dst[i]]))
+
+        # mandatory: SCCs residual-reachable from 0 (closure of comp[0]);
+        # forbidden: SCCs that reach comp[t] (their inclusion would force t)
+        mandatory = {int(comp[0])}
+        dq = deque(mandatory)
+        while dq:
+            c = dq.popleft()
+            for s in succ[c]:
+                if s not in mandatory:
+                    mandatory.add(s)
+                    dq.append(s)
+        if comp[t] in mandatory:
+            raise CactusError("sink residual-reachable from source at maxflow")
+        pred_closure = {int(comp[t])}
+        pred: list[set[int]] = [set() for _ in range(num_scc)]
+        for c, outs in enumerate(succ):
+            for d in outs:
+                pred[d].add(c)
+        dq = deque(pred_closure)
+        while dq:
+            c = dq.popleft()
+            for p in pred[c]:
+                if p not in pred_closure:
+                    pred_closure.add(p)
+                    dq.append(p)
+
+        scc_members: list[list[int]] = [[] for _ in range(num_scc)]
+        for v in range(n):
+            scc_members[comp[v]].append(v)
+        for closed in _closed_sets(num_scc, succ, mandatory, pred_closure):
+            closures += 1
+            s_side = [v for c in closed for v in scc_members[c]]
+            # canonical side: the one NOT containing vertex 0
+            cuts.add(frozenset(range(n)) - frozenset(s_side))
+    stats = {"maxflows": flows, "closures": closures}
+    return sorted(cuts, key=lambda s: (len(s), sorted(s))), stats
+
+
+# ---------------------------------------------------------------------------
+# step 3: recursive cactus assembly from an explicit cut family
+# ---------------------------------------------------------------------------
+
+def _crossing(a: frozenset, b: frozenset) -> bool:
+    """Do cuts with canonical (anchor-free) sides ``a``/``b`` cross?
+
+    Both sides exclude the anchor vertex, so the fourth corner of the
+    crossing diagram (outside both) always holds the anchor; the cuts
+    cross iff the other three corners are non-empty.
+    """
+    return bool(a & b) and bool(a - b) and bool(b - a)
+
+
+def _canonical(side: frozenset, ground: frozenset, anchor) -> frozenset:
+    return ground - side if anchor in side else side
+
+
+def _circular_order(atoms: list[frozenset], comp_cuts: list[frozenset]) -> list[int]:
+    """Recover the circular order of ``atoms`` from a crossing component.
+
+    With the *complete* family of minimum cuts in hand, a crossing
+    component consists of exactly the consecutive runs of circular length
+    ``2..k-2`` of its circular partition, so the number of component cuts
+    separating two atoms at circular distance ``d`` is ``d(k-d) - 2`` —
+    strictly minimal (``k - 3``) exactly for adjacent atoms when
+    ``k >= 4``.  Adjacency pairs must then chain into one Hamiltonian
+    cycle.
+    """
+    k = len(atoms)
+    if k < 4:
+        raise CactusError(f"crossing component spans only {k} atoms")
+    sep = [[0] * k for _ in range(k)]
+    for cut in comp_cuts:
+        inside = [i for i, a in enumerate(atoms) if a <= cut]
+        outside = [i for i in range(k) if i not in inside]
+        for i in inside:
+            for j in outside:
+                sep[i][j] += 1
+                sep[j][i] += 1
+    neighbors: list[list[int]] = []
+    for i in range(k):
+        m = min(sep[i][j] for j in range(k) if j != i)
+        if m != k - 3:
+            raise CactusError("separation counts do not match a circular partition")
+        neighbors.append([j for j in range(k) if j != i and sep[i][j] == m])
+    if any(len(nb) != 2 for nb in neighbors):
+        raise CactusError("atom adjacency is not 2-regular")
+    order = [0, neighbors[0][0]]
+    while len(order) < k:
+        a, b = neighbors[order[-1]]
+        nxt = b if a == order[-2] else a
+        if nxt in order:
+            raise CactusError("atom adjacency does not form one cycle")
+        order.append(nxt)
+    if order[0] not in neighbors[order[-1]]:
+        raise CactusError("atom adjacency does not close a cycle")
+    return order
+
+
+def _runs_of(order: list[int], atoms: list[frozenset]) -> set[frozenset]:
+    """Vertex sides of every consecutive run (length 1..k-1) of a circular
+    order, each as the union of its atoms."""
+    k = len(order)
+    runs: set[frozenset] = set()
+    for start in range(k):
+        acc: set = set()
+        for length in range(1, k):
+            acc |= atoms[order[(start + length - 1) % k]]
+            runs.add(frozenset(acc))
+    return runs
+
+
+def _build_recursive(ground: frozenset, cuts: list[frozenset],
+                     next_super: list[int]):
+    """Build a cactus for ``ground`` representing exactly ``cuts``.
+
+    ``cuts`` are canonical sides (not containing ``min(ground)``).  Returns
+    ``(node_members, tree_edges, cycles)`` over local node ids; members may
+    include negative super-vertex ids introduced by deeper recursions only
+    transiently (they are stripped before returning).
+    """
+    if not cuts:
+        return [sorted(ground)], [], []
+
+    anchor = min(ground)
+    # crossing components over the cut family
+    k = len(cuts)
+    comp_id = list(range(k))
+
+    def find(x: int) -> int:
+        while comp_id[x] != x:
+            comp_id[x] = comp_id[comp_id[x]]
+            x = comp_id[x]
+        return x
+
+    for i in range(k):
+        for j in range(i + 1, k):
+            if _crossing(cuts[i], cuts[j]):
+                comp_id[find(i)] = find(j)
+    components: dict[int, list[frozenset]] = {}
+    for i in range(k):
+        components.setdefault(find(i), []).append(cuts[i])
+
+    # choose one component as this level's structure; the rest nest in
+    # atoms.  Prefer the largest (a crossing component forms its cycle at
+    # this level, letting the run-skip below absorb its single-atom cuts
+    # instead of nesting them behind empty nodes).
+    chosen = sorted(components.items(), key=lambda kv: (-len(kv[1]), kv[0]))[0][1]
+    if len(chosen) == 1:
+        side = chosen[0]
+        atoms = [frozenset(ground - side), side]  # atom 0 holds the anchor
+        cycle_order: list[int] | None = None
+    else:
+        # atoms = classes of identical membership across the component
+        sig: dict[tuple[bool, ...], set] = {}
+        for v in ground:
+            sig.setdefault(tuple(v in c for c in chosen), set()).add(v)
+        atoms = [frozenset(s) for s in sig.values()]
+        cycle_order = _circular_order(atoms, chosen)
+        runs = _runs_of(cycle_order, atoms)
+        canon_runs = {_canonical(r, ground, anchor) for r in runs}
+        if not set(chosen) <= canon_runs:
+            raise CactusError("component cut is not a consecutive run")
+
+    # assign every remaining cut to the unique atom containing one side;
+    # a cut that is itself a run of the chosen cycle (the single-atom runs
+    # live outside the crossing component) is already represented by an
+    # adjacent cycle-edge pair and must not be nested again
+    sub_cuts: list[set[frozenset]] = [set() for _ in atoms]
+    for comp, members in components.items():
+        if members is chosen:
+            continue
+        for cut in members:
+            if cycle_order is not None and cut in canon_runs:
+                continue
+            placed = False
+            for idx, atom in enumerate(atoms):
+                if cut <= atom:
+                    sub_cuts[idx].add(cut)
+                    placed = True
+                    break
+                if (ground - cut) <= atom:
+                    sub_cuts[idx].add(frozenset(ground - cut))
+                    placed = True
+                    break
+            if not placed:
+                raise CactusError("cut crosses the chosen component's atoms")
+
+    # recurse per atom with a super-vertex standing in for the outside world
+    node_members: list[list] = []
+    tree_edges: list[tuple[int, int]] = []
+    cycles: list[list[int]] = []
+    attach: list[int] = []
+    for idx, atom in enumerate(atoms):
+        if not sub_cuts[idx]:
+            node_members.append(sorted(atom))
+            attach.append(len(node_members) - 1)
+            continue
+        super_v = next_super[0]
+        next_super[0] -= 1
+        sub_ground = atom | {super_v}
+        sub_anchor = min(sub_ground)
+        sides = {_canonical(c, sub_ground, sub_anchor) for c in sub_cuts[idx]}
+        sub_nodes, sub_tree, sub_cycles = _build_recursive(
+            sub_ground, sorted(sides, key=lambda s: (len(s), sorted(s))),
+            next_super,
+        )
+        base = len(node_members)
+        attach_local = None
+        for ni, members in enumerate(sub_nodes):
+            if super_v in members:
+                members = [v for v in members if v != super_v]
+                attach_local = ni
+            node_members.append(sorted(members))
+        if attach_local is None:
+            raise CactusError("super-vertex vanished in recursion")
+        tree_edges.extend((base + a, base + b) for a, b in sub_tree)
+        cycles.extend([base + c for c in cyc] for cyc in sub_cycles)
+        attach.append(base + attach_local)
+
+    if cycle_order is None:
+        tree_edges.append((attach[0], attach[1]))
+    else:
+        cycles.append([attach[i] for i in cycle_order])
+    return node_members, tree_edges, cycles
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def build_cactus(graph: Graph, lam: int | None = None, *, tracer=None,
+                 verify: bool = False) -> Cactus:
+    """Construct the cactus of all minimum cuts of ``graph``.
+
+    Parameters
+    ----------
+    lam:
+        The known minimum cut value; computed with the default exact
+        solver when omitted.
+    tracer:
+        Optional :class:`repro.observability.Tracer`; emits
+        ``cactus_build_start`` / ``cactus_build_end``.
+    verify:
+        Cross-check that the cactus's structural cuts reproduce the
+        enumerated family exactly (costs one full enumeration pass over
+        the structure; used by tests).
+
+    Notes
+    -----
+    On a disconnected graph (λ = 0) the cactus degenerates to a star over
+    the connected components: it represents the component-isolating cuts,
+    not all :math:`2^{k-1} - 1` unions of components (those are not
+    expressible as a cactus; VieCut's construction assumes connectivity
+    too).
+    """
+    n = graph.n
+    if n < 2:
+        raise ValueError(f"cactus requires at least 2 vertices, got {n}")
+    if lam is None:
+        from ..core.api import minimum_cut  # deferred: api imports us
+
+        lam = int(minimum_cut(graph).value)
+    lam = int(lam)
+    t0 = time.perf_counter()
+    if tracer is not None:
+        tracer.emit("cactus_build_start", n=n, m=graph.m, lam=lam)
+
+    if lam == 0:
+        num, comp_labels = connected_components(graph)
+        members: list[list[int]] = [[] for _ in range(num)]
+        for v in range(n):
+            members[int(comp_labels[v])].append(v)
+        members.append([])  # empty hub node
+        hub = num
+        cactus = Cactus(
+            n, 0, members, [(i, hub) for i in range(num)], [],
+            stats={"contracted_n": num, "capforest_passes": 0,
+                   "maxflows": 0, "closures": 0,
+                   "degenerate_disconnected": True},
+        )
+        cactus.stats["num_cuts"] = cactus.num_min_cuts()
+        if tracer is not None:
+            tracer.emit("cactus_build_end", n_contracted=num,
+                        num_cuts=cactus.num_min_cuts(),
+                        num_nodes=cactus.num_nodes,
+                        num_cycles=0,
+                        seconds=round(time.perf_counter() - t0, 6))
+        return cactus
+
+    h, labels, passes = _preprocess(graph, lam)
+    cuts, enum_stats = _enumerate_min_cuts(h, lam)
+    if not cuts:
+        raise CactusError("no minimum cut found at the claimed value")
+
+    ground = frozenset(range(h.n))
+    sides = sorted(
+        {_canonical(c, ground, 0) for c in cuts},
+        key=lambda s: (len(s), sorted(s)),
+    )
+    node_members_h, tree_edges, cycles = _build_recursive(
+        ground, sides, next_super=[-1]
+    )
+
+    # expand contracted ids back to original vertices
+    by_h: list[list[int]] = [[] for _ in range(h.n)]
+    for v in range(n):
+        by_h[int(labels[v])].append(v)
+    node_members = [
+        sorted(v for hv in members for v in by_h[hv])
+        for members in node_members_h
+    ]
+
+    cactus = Cactus(
+        n, lam, node_members, tree_edges, cycles,
+        stats={"contracted_n": h.n, "capforest_passes": passes,
+               **enum_stats, "num_cuts": len(sides)},
+    )
+    if verify:
+        want = set()
+        for side in sides:
+            mask = np.zeros(n, dtype=bool)
+            for hv in side:
+                mask[by_h[hv]] = True
+            if mask[0]:
+                mask = ~mask
+            want.add(mask.tobytes())
+        got = {m.tobytes() for m in cactus.cut_masks()}
+        if got != want:
+            raise CactusError(
+                f"cactus represents {len(got)} cuts, enumeration found {len(want)}"
+            )
+    if tracer is not None:
+        tracer.emit("cactus_build_end", n_contracted=h.n,
+                    num_cuts=len(sides), num_nodes=cactus.num_nodes,
+                    num_cycles=cactus.num_cycles,
+                    seconds=round(time.perf_counter() - t0, 6))
+    return cactus

@@ -1,0 +1,221 @@
+"""The cactus representation of *all* minimum cuts (Dinitz–Karzanov–Lomonosov).
+
+A cactus is a connected graph in which every edge belongs to at most one
+cycle.  For a weighted graph ``G`` with minimum cut value λ there is a
+cactus ``C`` and a mapping π from ``G``'s vertices onto ``C``'s nodes such
+that the minimum cuts of ``G`` are exactly the cuts obtained by removing
+either **one tree edge** of ``C`` or **two edges of the same cycle** —
+O(n) cactus nodes represent the up-to-:math:`\\binom{n}{2}` minimum cuts
+implicitly.  Nodes may be *empty* (no graph vertex maps to them); they are
+the junctions the structure needs, e.g. the centre of a star of three
+λ-cuts.
+
+:class:`Cactus` here is the query side of the subsystem: a picklable plain
+data structure (so it crosses the engine's worker-pool boundary and lives
+in the result cache) with the API the VieCut-consuming exemplars expect —
+``num_min_cuts()``, cut enumeration, ``most_balanced_cut()`` and the
+per-vertex ``in_cut`` membership array of VieCut's ``set_node_in_cut``.
+Construction lives in :mod:`repro.cactus.build`.
+
+Cut canonicalisation: every enumerated cut is a boolean side mask over the
+*original* vertices with ``mask[0] == False`` (vertex 0 is always on the
+``False`` side), so masks compare bytewise and sets of cuts compare as
+sets of ``mask.tobytes()``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+class CactusError(ValueError):
+    """The cut family handed to the builder is not a minimum-cut family."""
+
+
+class Cactus:
+    """Cactus of all minimum cuts; see module docstring.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices of the original graph.
+    lam:
+        The minimum cut value λ the cactus represents.
+    node_members:
+        Per cactus node, the list of original vertex ids mapped onto it
+        (empty list for empty nodes).  Every original vertex appears in
+        exactly one node.
+    tree_edges:
+        ``(node_a, node_b)`` pairs — each represents one minimum cut.
+    cycles:
+        Node-id lists in circular order (length >= 3); removing any two
+        edges of one cycle is a minimum cut.
+    stats:
+        Construction counters (contracted size, passes, enumeration work).
+    """
+
+    def __init__(self, n: int, lam: int, node_members: list[list[int]],
+                 tree_edges: list[tuple[int, int]], cycles: list[list[int]],
+                 stats: dict | None = None) -> None:
+        self.n = int(n)
+        self.lam = int(lam)
+        self.node_members = [sorted(int(v) for v in members)
+                             for members in node_members]
+        self.tree_edges = [(int(a), int(b)) for a, b in tree_edges]
+        self.cycles = [[int(c) for c in cyc] for cyc in cycles]
+        self.stats = dict(stats or {})
+        self._masks: list[np.ndarray] | None = None
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_members)
+
+    @property
+    def num_cycles(self) -> int:
+        return len(self.cycles)
+
+    # -- structural edges ----------------------------------------------------
+
+    def _edges(self) -> list[tuple[int, int]]:
+        """Every structural edge (tree edges, then each cycle's edges)."""
+        edges = list(self.tree_edges)
+        for cyc in self.cycles:
+            k = len(cyc)
+            edges.extend((cyc[i], cyc[(i + 1) % k]) for i in range(k))
+        return edges
+
+    def _adjacency(self) -> list[list[tuple[int, int]]]:
+        """Node adjacency as ``(neighbor, edge_index)`` over :meth:`_edges`."""
+        adj: list[list[tuple[int, int]]] = [[] for _ in range(self.num_nodes)]
+        for idx, (a, b) in enumerate(self._edges()):
+            adj[a].append((b, idx))
+            adj[b].append((a, idx))
+        return adj
+
+    def _component_after(self, removed: set[int], start: int,
+                         adj: list[list[tuple[int, int]]]) -> set[int]:
+        """Node set reachable from ``start`` with edges ``removed`` cut."""
+        seen = {start}
+        dq = deque([start])
+        while dq:
+            v = dq.popleft()
+            for u, idx in adj[v]:
+                if idx not in removed and u not in seen:
+                    seen.add(u)
+                    dq.append(u)
+        return seen
+
+    def _structural_cuts(self):
+        """Yield the node-id side of every structural cut (with repeats)."""
+        adj = self._adjacency()
+        n_tree = len(self.tree_edges)
+        for idx, (a, _b) in enumerate(self.tree_edges):
+            yield self._component_after({idx}, a, adj)
+        offset = n_tree
+        for cyc in self.cycles:
+            k = len(cyc)
+            # cycle edge i joins cyc[i] and cyc[i+1]; removing edges i < j
+            # separates the run cyc[i+1..j] from the rest
+            for i in range(k):
+                for j in range(i + 1, k):
+                    yield self._component_after(
+                        {offset + i, offset + j}, cyc[(i + 1) % k], adj
+                    )
+            offset += k
+
+    # -- cut enumeration -----------------------------------------------------
+
+    def cut_masks(self) -> list[np.ndarray]:
+        """Every distinct minimum cut as a canonical boolean side mask.
+
+        Masks are over the original vertices with ``mask[0] == False``;
+        structural cuts that induce the same vertex bipartition (possible
+        around empty nodes) are deduplicated.  The list is cached and must
+        be treated as read-only.
+        """
+        if self._masks is not None:
+            return self._masks
+        masks: list[np.ndarray] = []
+        seen: set[bytes] = set()
+        for node_side in self._structural_cuts():
+            mask = np.zeros(self.n, dtype=bool)
+            for node in node_side:
+                mask[self.node_members[node]] = True
+            if self.n and mask[0]:
+                mask = ~mask
+            k = int(mask.sum())
+            if k == 0 or k == self.n:
+                continue  # empty-node-only side: not a vertex cut
+            key = mask.tobytes()
+            if key in seen:
+                continue
+            seen.add(key)
+            masks.append(mask)
+        masks.sort(key=lambda m: m.tobytes())
+        self._masks = masks
+        return masks
+
+    def num_min_cuts(self) -> int:
+        """Number of distinct minimum cuts the cactus represents."""
+        return len(self.cut_masks())
+
+    def most_balanced_cut(self) -> tuple[np.ndarray, dict]:
+        """The minimum cut whose sides are closest in size.
+
+        VieCut's ``find_most_balanced_cut``: over all minimum cuts,
+        maximise ``min(|A|, |B|)`` (equivalently minimise the imbalance
+        ``| |A| - |B| |``); ties break deterministically on the canonical
+        mask bytes.  Returns ``(mask, info)`` where ``mask`` is the
+        canonical side mask and ``info`` carries ``smaller_side_size``,
+        ``larger_side_size`` and ``imbalance``.
+        """
+        masks = self.cut_masks()
+        if not masks:
+            raise CactusError("cactus represents no cuts")
+        best = min(masks, key=lambda m: (abs(self.n - 2 * int(m.sum())),
+                                         m.tobytes()))
+        k = int(best.sum())
+        info = {
+            "smaller_side_size": min(k, self.n - k),
+            "larger_side_size": max(k, self.n - k),
+            "imbalance": abs(self.n - 2 * k),
+        }
+        return best, info
+
+    def in_cut(self, mask: np.ndarray | None = None) -> np.ndarray:
+        """Per-vertex membership array for a chosen cut (VieCut's
+        ``set_node_in_cut``): ``uint8[n]`` with 1 for vertices inside the
+        cut side.  Defaults to the most balanced cut's *smaller* side."""
+        if mask is None:
+            mask, _ = self.most_balanced_cut()
+            if int(mask.sum()) * 2 > self.n:
+                mask = ~mask
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self.n:
+            raise ValueError("mask length must equal n")
+        return mask.astype(np.uint8)
+
+    def node_of(self) -> np.ndarray:
+        """``int64[n]``: cactus node id of every original vertex."""
+        out = np.full(self.n, -1, dtype=np.int64)
+        for node, members in enumerate(self.node_members):
+            out[members] = node
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Cactus(n={self.n}, lam={self.lam}, nodes={self.num_nodes}, "
+            f"tree_edges={len(self.tree_edges)}, cycles={self.num_cycles}, "
+            f"min_cuts={self.num_min_cuts()})"
+        )
+
+    # pickling crosses the engine's pool boundary; drop the mask cache so
+    # the payload ships the structure, not the (re-derivable) enumeration
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_masks"] = None
+        return state

@@ -131,6 +131,18 @@ def build_parser() -> argparse.ArgumentParser:
         "worker loss with a distinct exit code",
     )
     ap.add_argument("--print-side", action="store_true", help="print the smaller cut side")
+    ap.add_argument(
+        "--all-cuts",
+        action="store_true",
+        help="build the cactus of ALL minimum cuts (exact algorithms only); "
+        "prints the distinct-cut count and enables cactus stats",
+    )
+    ap.add_argument(
+        "--most-balanced",
+        action="store_true",
+        help="implies --all-cuts; report (and use as the cut side) the "
+        "minimum cut with the smallest side-size imbalance",
+    )
     ap.add_argument("--stats", action="store_true", help="print solver statistics")
     ap.add_argument(
         "--trace",
@@ -199,6 +211,10 @@ def _run_batch(args, tracer) -> int:
         defaults["timeout"] = args.timeout
     if args.on_worker_failure is not None:
         defaults["on_worker_failure"] = args.on_worker_failure
+    if args.all_cuts or args.most_balanced:
+        defaults["all_cuts"] = True
+    if args.most_balanced:
+        defaults["most_balanced"] = True
 
     codes = [EXIT_OK] * len(items)
     t0 = time.perf_counter()
@@ -231,9 +247,10 @@ def _run_batch(args, tracer) -> int:
                 codes[i] = _batch_exit_code(exc)
                 print(f"batch[{i}] {path} exit={codes[i]} error: {exc}")
             else:
+                cuts = "" if res.cactus is None else f" min-cuts={res.num_min_cuts()}"
                 print(
                     f"batch[{i}] {path} exit=0 algorithm={res.algorithm} "
-                    f"mincut={res.value}"
+                    f"mincut={res.value}{cuts}"
                 )
         stats = engine.stats()
     elapsed = time.perf_counter() - t0
@@ -312,7 +329,11 @@ def main(argv: list[str] | None = None) -> int:
 
     t0 = time.perf_counter()
     try:
-        result = minimum_cut(graph, algorithm=args.algorithm, **kwargs)
+        result = minimum_cut(
+            graph, algorithm=args.algorithm,
+            all_cuts=args.all_cuts, most_balanced=args.most_balanced,
+            **kwargs,
+        )
     except RuntimeFault as exc:
         print(f"error: {exc}", file=sys.stderr)
         if tracer is not None:
@@ -329,8 +350,16 @@ def main(argv: list[str] | None = None) -> int:
     print(f"algorithm {result.algorithm}")
     print(f"mincut    {result.value}")
     print(f"time      {elapsed:.4f}s")
+    if result.cactus is not None:
+        print(f"min-cuts  {result.num_min_cuts()}")
+        if args.most_balanced:
+            info = result.stats["most_balanced"]
+            print(
+                f"balance   {info['smaller_side_size']}/{info['larger_side_size']} "
+                f"(imbalance {info['imbalance']})"
+            )
     if args.print_side and result.side is not None:
-        small = min(result.partition(), key=len)
+        small = result.smaller_side()
         print(f"side      {' '.join(map(str, small))}")
     for event in result.stats.get("degradations") or []:
         print(f"warning   degraded: {event}", file=sys.stderr)

@@ -133,7 +133,13 @@ TRACEABLE_ALGORITHMS = ("noi", "noi-hnss", "noi-viecut", "parcut", "viecut")
 
 
 def minimum_cut(
-    graph: Graph, algorithm: str = "noi-viecut", *, engine=None, **kwargs
+    graph: Graph,
+    algorithm: str = "noi-viecut",
+    *,
+    engine=None,
+    all_cuts: bool = False,
+    most_balanced: bool = False,
+    **kwargs,
 ) -> MinCutResult:
     """Compute a minimum cut of ``graph``.
 
@@ -153,6 +159,18 @@ def minimum_cut(
         its persistent worker pool.  Engine solves restrict kwargs to
         canonicalisable values (``rng`` must be an integer seed, no
         ``tracer=``); pass the tracer to the engine itself instead.
+    all_cuts:
+        Additionally build the cactus of **all** minimum cuts
+        (:mod:`repro.cactus`) and attach it as ``result.cactus`` — it
+        answers ``num_min_cuts()``, enumerates every cut, selects the
+        most balanced one, and yields per-vertex ``in_cut`` membership
+        arrays.  Exact algorithms only (the cactus construction needs the
+        true λ).
+    most_balanced:
+        Implies ``all_cuts``; additionally *replaces* ``result.side``
+        with the minimum cut of smallest side-size imbalance (VieCut's
+        ``find_most_balanced_cut``) and records the chosen sizes in
+        ``result.stats["most_balanced"]``.
     **kwargs:
         Forwarded to the selected solver (e.g. ``rng=...`` for
         reproducibility, ``pq_kind=...``, ``workers=...``;
@@ -183,6 +201,43 @@ def minimum_cut(
         raise ValueError(
             f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
         ) from None
+    all_cuts = all_cuts or most_balanced
+    if all_cuts and algorithm not in EXACT_ALGORITHMS:
+        raise ValueError(
+            f"all_cuts/most_balanced require an exact algorithm, got {algorithm!r}"
+        )
     if engine is not None:
-        return engine.solve(graph, algorithm, **kwargs)
-    return solver(graph, **kwargs)
+        return engine.solve(
+            graph, algorithm, all_cuts=all_cuts, most_balanced=most_balanced,
+            **kwargs,
+        )
+    res = solver(graph, **kwargs)
+    if all_cuts:
+        attach_cactus(graph, res, most_balanced=most_balanced,
+                      tracer=kwargs.get("tracer"))
+    return res
+
+
+def attach_cactus(
+    graph: Graph, res: MinCutResult, *, most_balanced: bool = False, tracer=None
+) -> MinCutResult:
+    """Build the all-min-cuts cactus for a solved result and attach it.
+
+    Mutates ``res`` in place (and returns it): sets ``res.cactus``, records
+    ``stats["num_min_cuts"]``, and — when ``most_balanced`` — swaps
+    ``res.side`` for the most balanced minimum cut, recording the chosen
+    side sizes under ``stats["most_balanced"]``.
+    """
+    from ..cactus import build_cactus
+
+    cactus = build_cactus(graph, int(res.value), tracer=tracer)
+    res.cactus = cactus
+    res.stats["num_min_cuts"] = cactus.num_min_cuts()
+    if most_balanced:
+        mask, info = cactus.most_balanced_cut()
+        res.side = mask
+        res.stats["most_balanced"] = info
+        if tracer is not None:
+            tracer.emit("cactus_query", query="most_balanced_cut",
+                        num_cuts=cactus.num_min_cuts(), **info)
+    return res

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..graph.csr import Graph
+
+if TYPE_CHECKING:
+    from ..cactus import Cactus
 
 
 @dataclass
@@ -29,6 +33,9 @@ class MinCutResult:
     algorithm: str
     #: solver-specific counters (rounds, PQ operations, edges scanned, ...)
     stats: dict = field(default_factory=dict)
+    #: cactus of *all* minimum cuts; attached only when the solve was asked
+    #: for it (``minimum_cut(..., all_cuts=True)``)
+    cactus: Cactus | None = None
 
     def partition(self) -> tuple[list[int], list[int]]:
         """The two vertex sets of the cut (requires a side mask)."""
@@ -37,6 +44,19 @@ class MinCutResult:
         inside = np.flatnonzero(self.side)
         outside = np.flatnonzero(~self.side)
         return inside.tolist(), outside.tolist()
+
+    def smaller_side(self) -> list[int]:
+        """Vertices of the smaller side of the cut (requires a side mask).
+
+        When both sides have equal size, the ``True`` side of the mask is
+        returned — the same tie-break both the CLI and the service always
+        used.
+        """
+        return min(self.partition(), key=len)
+
+    def num_min_cuts(self) -> int | None:
+        """Number of distinct minimum cuts, when the cactus was built."""
+        return None if self.cactus is None else self.cactus.num_min_cuts()
 
     def verify(self, graph: Graph) -> bool:
         """Recompute the cut capacity from the side mask and compare.

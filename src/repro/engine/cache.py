@@ -21,9 +21,11 @@ def _clone(result: MinCutResult) -> MinCutResult:
 
     The ``side`` array is shared deliberately: results are read-only by
     contract and the mask can be ~n bytes, the one part worth not copying.
+    The cactus (when present) is shared for the same reason — it is a
+    query-only structure once built.
     """
     return MinCutResult(result.value, result.side, result.n, result.algorithm,
-                        dict(result.stats))
+                        dict(result.stats), cactus=result.cactus)
 
 
 class ResultCache:

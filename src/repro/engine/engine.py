@@ -87,6 +87,7 @@ class _Request:
     key: str
     algorithm: str
     kwargs: dict
+    options: dict
     cacheable: bool
     deadline: float | None  # absolute monotonic, None = no deadline
     future: "EngineFuture | None" = None
@@ -268,6 +269,8 @@ class SolverEngine:
         *,
         deadline: float | None = None,
         cache: bool = True,
+        all_cuts: bool = False,
+        most_balanced: bool = False,
         **kwargs,
     ) -> EngineFuture:
         """Enqueue one solve; returns an :class:`EngineFuture`.
@@ -275,18 +278,28 @@ class SolverEngine:
         ``deadline`` is seconds from now for the whole request (queueing
         included); a blown deadline fails the future with
         :class:`~repro.runtime.WorkerTimeout`.  ``cache=False`` bypasses
-        both lookup and store for this request.  ``kwargs`` are forwarded
+        both lookup and store for this request.  ``all_cuts`` /
+        ``most_balanced`` request the all-min-cuts cactus on the result
+        (see :func:`repro.minimum_cut`); they shape the *output*, so they
+        key a separate cache dimension — a value-only cached result is
+        never served to a cactus request.  ``kwargs`` are forwarded
         to the solver and must be canonicalisable (JSON scalars and
         containers — seed with ``rng=<int>``, never a live Generator or
         tracer object).
         """
-        from ..core.api import ALGORITHMS
+        from ..core.api import ALGORITHMS, EXACT_ALGORITHMS
 
         algorithm = algorithm or self.default_algorithm
         if algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
             )
+        all_cuts = bool(all_cuts or most_balanced)
+        if all_cuts and algorithm not in EXACT_ALGORITHMS:
+            raise ValueError(
+                f"all_cuts/most_balanced require an exact algorithm, got {algorithm!r}"
+            )
+        options = {"all_cuts": all_cuts, "most_balanced": bool(most_balanced)}
         for bad in _UNPOOLABLE_KWARGS:
             if bad in kwargs:
                 raise ValueError(
@@ -300,7 +313,7 @@ class SolverEngine:
         if self._pool is not None and kwargs.get("executor") == "processes":
             kwargs = dict(kwargs, executor="threads")
         digest = graph_digest(graph)
-        key = request_key(digest, algorithm, kwargs)
+        key = request_key(digest, algorithm, kwargs, options)
         with self._lock:
             if self._closing or self._closed:
                 raise EngineClosed("engine is closed")
@@ -311,6 +324,7 @@ class SolverEngine:
                 key=key,
                 algorithm=algorithm,
                 kwargs=kwargs,
+                options=options,
                 cacheable=cache,
                 deadline=None if deadline is None else time.monotonic() + deadline,
             )
@@ -564,6 +578,7 @@ class SolverEngine:
                 "plane": plane.name,
                 "algorithm": req.algorithm,
                 "kwargs": kwargs,
+                "options": req.options,
             }
             if fault:
                 task.update(fault)
@@ -580,7 +595,9 @@ class SolverEngine:
         try:
             kwargs = dict(req.kwargs)
             kwargs.pop("_test_fault", None)
-            result = minimum_cut(req.graph, algorithm=req.algorithm, **kwargs)
+            result = minimum_cut(
+                req.graph, algorithm=req.algorithm, **req.options, **kwargs
+            )
         except Exception as exc:  # noqa: BLE001 - surfaced through the future
             self._finish(req, exc=exc, status="error")
         else:
@@ -600,9 +617,11 @@ class SolverEngine:
             del self._inflight[worker_id]
             self._idle.add(worker_id)
             if status == "ok":
-                value, side, n, algorithm, stats = payload
+                value, side, n, algorithm, stats, cactus = payload
                 self._finish(
-                    req, result=MinCutResult(value, side, n, algorithm, stats)
+                    req,
+                    result=MinCutResult(value, side, n, algorithm, stats,
+                                        cactus=cactus),
                 )
             else:
                 self._finish(

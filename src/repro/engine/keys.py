@@ -40,8 +40,10 @@ class UnkeyableRequest(TypeError):
     """A solve kwarg cannot be canonicalised into a cache key."""
 
 
-def request_key(digest: str, algorithm: str, kwargs: dict) -> str:
-    """One string key per (graph, algorithm, solve configuration).
+def request_key(
+    digest: str, algorithm: str, kwargs: dict, options: dict | None = None
+) -> str:
+    """One string key per (graph, algorithm, solve configuration, output shape).
 
     Kwargs are canonicalised through sorted-key JSON, so dict ordering
     never splits the cache.  Values must be JSON-representable scalars or
@@ -49,11 +51,24 @@ def request_key(digest: str, algorithm: str, kwargs: dict) -> str:
     fault plans) have no canonical form and raise :class:`UnkeyableRequest`;
     the engine rejects them at submit time for the same reason it cannot
     ship them to a pooled worker process.
+
+    ``options`` carries **output-shape** requests (``all_cuts``,
+    ``most_balanced``) that change what the result object carries without
+    changing the solve configuration.  They key a separate dimension: a
+    value-only cached result must never be served to a request that needs
+    the cactus, and vice versa.  Falsy/None options key identically to the
+    historical 3-segment form, so existing cache entries stay addressable.
     """
     try:
         blob = json.dumps(kwargs, sort_keys=True, separators=(",", ":"))
+        opts = {k: v for k, v in (options or {}).items() if v}
+        opt_blob = (
+            ":" + json.dumps(opts, sort_keys=True, separators=(",", ":"))
+            if opts
+            else ""
+        )
     except (TypeError, ValueError) as exc:
         raise UnkeyableRequest(
             f"solve kwargs are not canonicalisable for caching/pooling: {exc}"
         ) from None
-    return f"{digest}:{algorithm}:{blob}"
+    return f"{digest}:{algorithm}:{blob}{opt_blob}"

@@ -64,11 +64,15 @@ def _pool_worker_main(worker_id: int, task_q, result_q) -> None:
         try:
             plane = SharedGraph.attach(task["plane"])
             g = plane.graph()
-            res = minimum_cut(g, algorithm=task["algorithm"], **task["kwargs"])
+            res = minimum_cut(
+                g, algorithm=task["algorithm"],
+                **task.get("options", {}), **task["kwargs"],
+            )
             side = None if res.side is None else res.side.copy()
             result_q.put(
                 (worker_id, req_id, "ok",
-                 (int(res.value), side, res.n, res.algorithm, res.stats))
+                 (int(res.value), side, res.n, res.algorithm, res.stats,
+                  res.cactus))
             )
         except BaseException as exc:  # noqa: BLE001 - any failure must be reported
             try:

@@ -66,6 +66,10 @@ EVENT_KINDS = frozenset(
         "client_disconnect",  # a client vanished mid-request; work was cancelled
         "drain_begin",  # graceful drain started: inflight count at entry
         "drain_end",  # graceful drain finished: drained/cancelled counts
+        # -- cactus kinds (repro.cactus): the all-min-cuts view
+        "cactus_build_start",  # construction began: n, m, lam
+        "cactus_build_end",  # done: contracted n, cut/node/cycle counts, seconds
+        "cactus_query",  # a query ran on the structure: query name + answer
     }
 )
 

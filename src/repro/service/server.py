@@ -481,8 +481,11 @@ class MinCutService:
                    queue_depth=decision.queue_depth)
         return ctx, None
 
-    def _parse_solve_fields(self, item: dict) -> tuple[str | None, dict, bool]:
-        """Common per-solve fields: algorithm, engine kwargs, cache flag."""
+    def _parse_solve_fields(
+        self, item: dict
+    ) -> tuple[str | None, dict, bool, dict]:
+        """Common per-solve fields: algorithm, engine kwargs, cache flag,
+        and the output-shape options (``all_cuts``/``most_balanced``)."""
         algorithm = item.get("algorithm")
         if algorithm is not None and not isinstance(algorithm, str):
             raise HttpError(400, f"algorithm must be a string, got {algorithm!r}")
@@ -497,7 +500,13 @@ class MinCutService:
         cache = item.get("cache", True)
         if not isinstance(cache, bool):
             raise HttpError(400, f"cache must be a boolean, got {cache!r}")
-        return algorithm, kwargs, cache
+        options = {}
+        for key in ("all_cuts", "most_balanced"):
+            flag = item.get(key, False)
+            if not isinstance(flag, bool):
+                raise HttpError(400, f"{key} must be a boolean, got {flag!r}")
+            options[key] = flag
+        return algorithm, kwargs, cache, options
 
     async def _handle_solve(self, req: Request, stream: BufferedStream,
                             client: str) -> tuple[int, dict, dict | None]:
@@ -509,14 +518,14 @@ class MinCutService:
         if ctx is None:
             return shed
         try:
-            algorithm, kwargs, cache = self._parse_solve_fields(body)
+            algorithm, kwargs, cache, options = self._parse_solve_fields(body)
             graph = graph_from_json(body.get("graph"))
             include_side = bool(body.get("include_side", False))
         except HttpError:
             self._request_done(ctx, 400)
             raise
         solve_task = asyncio.create_task(asyncio.to_thread(
-            self._solve_blocking, ctx, graph, algorithm, kwargs, cache
+            self._solve_blocking, ctx, graph, algorithm, kwargs, cache, options
         ))
         solve_task.add_done_callback(_reap_task)
         try:
@@ -551,11 +560,12 @@ class MinCutService:
         if ctx is None:
             return shed
         try:
-            defaults_algorithm, defaults_kwargs, defaults_cache = \
-                self._parse_solve_fields(body)
+            defaults_algorithm, defaults_kwargs, defaults_cache, \
+                defaults_options = self._parse_solve_fields(body)
             parsed = [
                 self._parse_item(item, i, batch, defaults_algorithm,
-                                 defaults_kwargs, defaults_cache)
+                                 defaults_kwargs, defaults_cache,
+                                 defaults_options)
                 for i, item in enumerate(items)
             ]
         except HttpError:
@@ -581,17 +591,21 @@ class MinCutService:
 
     def _parse_item(self, item, index: int, batch: bool,
                     default_algorithm, default_kwargs: dict,
-                    default_cache: bool) -> dict:
+                    default_cache: bool, default_options: dict) -> dict:
         """One solve_many/batch item → a normalized spec for the collector."""
         if not isinstance(item, dict):
             raise HttpError(400, f"item {index} must be an object")
-        algorithm, kwargs, cache = self._parse_solve_fields(
+        algorithm, kwargs, cache, options = self._parse_solve_fields(
             {"algorithm": item.get("algorithm", default_algorithm),
              "kwargs": {**default_kwargs, **item.get("kwargs", {})}
              if isinstance(item.get("kwargs", {}), dict) else item.get("kwargs"),
-             "cache": item.get("cache", default_cache)}
+             "cache": item.get("cache", default_cache),
+             "all_cuts": item.get("all_cuts", default_options["all_cuts"]),
+             "most_balanced": item.get("most_balanced",
+                                       default_options["most_balanced"])}
         )
         spec = {"algorithm": algorithm, "kwargs": kwargs, "cache": cache,
+                "options": options,
                 "include_side": bool(item.get("include_side", False))}
         if batch:
             path = item.get("path")
@@ -609,7 +623,8 @@ class MinCutService:
     # -- blocking solve paths (worker threads) -------------------------------
 
     def _solve_blocking(self, ctx: _RequestCtx, graph, algorithm: str | None,
-                        kwargs: dict, cache: bool):
+                        kwargs: dict, cache: bool,
+                        options: dict | None = None):
         """Submit + await one engine solve with bounded jittered retries.
 
         Runs on a ``to_thread`` worker.  Retries only the transient
@@ -626,7 +641,7 @@ class MinCutService:
             if remaining <= 0:
                 raise WorkerTimeout(-1, ctx.elapsed)
             fut = self._engine.submit(graph, algorithm, deadline=remaining,
-                                      cache=cache, **kwargs)
+                                      cache=cache, **(options or {}), **kwargs)
             ctx.register(fut)
             try:
                 # the engine enforces the real deadline; the +1s margin only
@@ -655,7 +670,8 @@ class MinCutService:
                               else read_edge_list)
                     graph = reader(spec["path"])
                 result = self._solve_blocking(
-                    ctx, graph, spec["algorithm"], spec["kwargs"], spec["cache"]
+                    ctx, graph, spec["algorithm"], spec["kwargs"],
+                    spec["cache"], spec["options"]
                 )
             except Exception as exc:  # noqa: BLE001 - per-item entries
                 kind, _status = classify_failure(exc)
@@ -747,8 +763,16 @@ class MinCutService:
             "seconds": ctx.elapsed,
         }
         if include_side and result.side is not None:
-            smaller = min(result.partition(), key=len)
-            body["side"] = [int(v) for v in smaller]
+            body["side"] = [int(v) for v in result.smaller_side()]
+        if result.cactus is not None:
+            body["num_min_cuts"] = result.num_min_cuts()
+            info = result.stats.get("most_balanced")
+            if info is not None:
+                body["most_balanced"] = {
+                    **info,
+                    "side": [int(v) for v in result.smaller_side()],
+                    "in_cut": [int(v) for v in result.cactus.in_cut()],
+                }
         return body
 
     def _failure_body(self, exc: BaseException, kind: str, ctx: _RequestCtx,

@@ -1,0 +1,339 @@
+"""Tests for the cactus of all minimum cuts (`repro.cactus`).
+
+The ground truth is :func:`repro.baselines.brute_force_all_mincuts`,
+which enumerates every bipartition — independent of every solver and of
+the cactus construction itself.  Parity means three things at once: the
+cactus *counts* the min cuts exactly, its ``cut_masks()`` are the same
+*set* of canonical sides, and ``most_balanced_cut()`` achieves the
+exhaustive optimum imbalance.  On top of parity: the engine plumbing
+(cache-key separation of output shapes, pooled workers shipping the
+cactus across the process boundary), the service and CLI surfaces, and
+the trace taxonomy for the new event kinds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.baselines import brute_force_all_mincuts
+from repro.cactus import Cactus, CactusError, build_cactus
+from repro.cli import main as cli_main
+from repro.core.api import minimum_cut
+from repro.engine import SolverEngine
+from repro.engine.keys import request_key
+from repro.generators import connected_gnm
+from repro.graph import from_edges, write_metis
+from repro.observability import Tracer
+from repro.observability.schema import validate_trace_events
+from repro.service import ServiceClient, graph_payload
+from repro.service.testing import ServiceThread
+
+
+def assert_cactus_parity(graph) -> Cactus:
+    """Cactus vs exhaustive enumeration: value, cut set, balance."""
+    value, expected = brute_force_all_mincuts(graph)
+    cactus = build_cactus(graph, verify=True)
+    assert cactus.lam == value
+    got = cactus.cut_masks()
+    assert cactus.num_min_cuts() == len(expected)
+    assert {m.tobytes() for m in got} == {m.tobytes() for m in expected}
+
+    mask, info = cactus.most_balanced_cut()
+    best = min(abs(graph.n - 2 * int(m.sum())) for m in expected)
+    assert info["imbalance"] == best
+    assert abs(graph.n - 2 * int(mask.sum())) == best
+    assert info["smaller_side_size"] + info["larger_side_size"] == graph.n
+
+    in_cut = cactus.in_cut(mask)
+    assert in_cut.dtype == np.uint8 and in_cut.shape == (graph.n,)
+    assert np.array_equal(in_cut.astype(bool), mask)
+    return cactus
+
+
+class TestCactusParity:
+    def test_two_vertices(self, two_vertices):
+        cactus = assert_cactus_parity(two_vertices)
+        assert cactus.num_min_cuts() == 1
+
+    def test_triangle(self, triangle):
+        assert_cactus_parity(triangle)
+
+    def test_path4(self, path4):
+        # every edge of a path is a min cut: 3 cuts, pure tree cactus
+        cactus = assert_cactus_parity(path4)
+        assert cactus.num_min_cuts() == 3
+        assert not cactus.cycles
+
+    def test_unit_cycle(self):
+        # C5: all 5*(5-1)/2 = 10 pair cuts, one 5-cycle in the cactus
+        g = from_edges(5, [0, 1, 2, 3, 4], [1, 2, 3, 4, 0])
+        cactus = assert_cactus_parity(g)
+        assert cactus.num_min_cuts() == 10
+        assert len(cactus.cycles) == 1 and len(cactus.cycles[0]) == 5
+
+    def test_weighted_cycle(self, weighted_cycle):
+        # weights 3,1,3,1: exactly one min cut (the two weight-1 edges)
+        cactus = assert_cactus_parity(weighted_cycle)
+        assert cactus.num_min_cuts() == 1
+
+    def test_star(self, star):
+        cactus = assert_cactus_parity(star)
+        assert cactus.num_min_cuts() == 1
+
+    def test_dumbbell(self, dumbbell):
+        cactus = assert_cactus_parity(dumbbell)
+        assert cactus.num_min_cuts() == 1
+        mask, info = cactus.most_balanced_cut()
+        assert info["imbalance"] == 0
+        assert sorted(np.flatnonzero(mask).tolist()) in ([0, 1, 2, 3], [4, 5, 6, 7])
+
+    def test_clique6(self, clique6):
+        # K6: the 6 singleton cuts
+        cactus = assert_cactus_parity(clique6)
+        assert cactus.num_min_cuts() == 6
+
+    def test_dumbbell_chain(self):
+        # three K3s in a path, unit bridges: two crossing-free cuts
+        edges = []
+        for base in (0, 3, 6):
+            edges += [(base, base + 1, 2), (base + 1, base + 2, 2), (base, base + 2, 2)]
+        edges += [(2, 3, 1), (5, 6, 1)]
+        us, vs, ws = zip(*edges)
+        cactus = assert_cactus_parity(from_edges(9, us, vs, ws))
+        assert cactus.num_min_cuts() == 2
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_gnm_weighted(self, seed):
+        rng = np.random.default_rng(900 + seed)
+        n = int(rng.integers(4, 12))
+        m = min(n - 1 + int(rng.integers(0, 2 * n)), n * (n - 1) // 2)
+        assert_cactus_parity(connected_gnm(n, m, rng=rng, weights=(1, 4)))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_gnm_unit(self, seed):
+        # unit weights produce ties, hence rich cactus structure (cycles)
+        rng = np.random.default_rng(7000 + seed)
+        n = int(rng.integers(4, 12))
+        m = min(n - 1 + int(rng.integers(0, n)), n * (n - 1) // 2)
+        assert_cactus_parity(connected_gnm(n, m, rng=rng))
+
+
+class TestCactusStructure:
+    def test_node_membership_partitions_vertices(self, dumbbell):
+        cactus = build_cactus(dumbbell)
+        seen = sorted(v for members in cactus.node_members for v in members)
+        assert seen == list(range(dumbbell.n))
+        node_of = cactus.node_of()
+        for v in range(dumbbell.n):
+            assert v in cactus.node_members[node_of[v]]
+
+    def test_empty_nodes_allowed(self):
+        # C4 unit: canonical cactus is a 4-cycle of the 4 singleton nodes;
+        # larger even cycles keep all vertices but structure stays a cycle
+        g = from_edges(4, [0, 1, 2, 3], [1, 2, 3, 0])
+        cactus = build_cactus(g)
+        assert len(cactus.cycles) == 1
+        assert cactus.num_min_cuts() == 6
+
+    def test_in_cut_defaults_to_most_balanced(self, dumbbell):
+        cactus = build_cactus(dumbbell)
+        default = cactus.in_cut()
+        mask, _ = cactus.most_balanced_cut()
+        # default marks the smaller side of the most balanced cut
+        marked = np.flatnonzero(default).tolist()
+        small = sorted(np.flatnonzero(mask).tolist())
+        large = sorted(set(range(dumbbell.n)) - set(small))
+        assert marked in (small, large)
+        assert len(marked) <= dumbbell.n - len(marked)
+
+    def test_pickle_roundtrip(self, dumbbell):
+        cactus = build_cactus(dumbbell)
+        clone = pickle.loads(pickle.dumps(cactus))
+        assert clone.num_min_cuts() == cactus.num_min_cuts()
+        assert [m.tobytes() for m in clone.cut_masks()] == [
+            m.tobytes() for m in cactus.cut_masks()
+        ]
+
+    def test_stats_recorded(self, dumbbell):
+        cactus = build_cactus(dumbbell)
+        assert cactus.stats["num_cuts"] == 1
+        assert cactus.stats["contracted_n"] <= dumbbell.n
+        assert cactus.stats["capforest_passes"] >= 1
+
+    def test_disconnected_star_degenerate(self, two_triangles_disconnected):
+        # λ = 0: star cactus over components; represents the
+        # component-isolating cuts only (documented degenerate case)
+        cactus = build_cactus(two_triangles_disconnected)
+        assert cactus.lam == 0
+        assert cactus.stats.get("degenerate_disconnected") is True
+        masks = cactus.cut_masks()
+        assert cactus.num_min_cuts() == 1  # two components, symmetric sides
+        assert sorted(np.flatnonzero(masks[0]).tolist()) == [3, 4, 5]
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises((ValueError, CactusError)):
+            build_cactus(from_edges(1, [], [], []))
+
+
+class TestApiIntegration:
+    def test_minimum_cut_all_cuts(self, dumbbell):
+        res = minimum_cut(dumbbell, all_cuts=True)
+        assert res.value == 1
+        assert res.cactus is not None
+        assert res.num_min_cuts() == 1
+        assert res.stats["num_min_cuts"] == 1
+
+    def test_minimum_cut_default_has_no_cactus(self, dumbbell):
+        res = minimum_cut(dumbbell)
+        assert res.cactus is None
+        assert res.num_min_cuts() is None
+
+    def test_most_balanced_sets_side(self, dumbbell):
+        res = minimum_cut(dumbbell, most_balanced=True)  # implies all_cuts
+        assert res.cactus is not None
+        assert res.stats["most_balanced"]["imbalance"] == 0
+        assert len(res.smaller_side()) == 4
+
+    def test_smaller_side_helper(self, dumbbell):
+        res = minimum_cut(dumbbell)
+        small = res.smaller_side()
+        assert small in (list(range(4)), list(range(4, 8)))
+
+    def test_all_cuts_rejects_heuristics(self, dumbbell):
+        with pytest.raises(ValueError, match="all_cuts"):
+            minimum_cut(dumbbell, algorithm="karger-stein", all_cuts=True)
+
+    def test_trace_events_validate(self, dumbbell):
+        tracer = Tracer()
+        minimum_cut(dumbbell, most_balanced=True, tracer=tracer)
+        events = tracer.events()
+        kinds = [e["kind"] for e in events]
+        assert "cactus_build_start" in kinds
+        assert "cactus_build_end" in kinds
+        assert "cactus_query" in kinds
+        validate_trace_events(events)
+        end = next(e for e in events if e["kind"] == "cactus_build_end")
+        assert end["num_cuts"] == 1
+
+
+class TestRequestKeyOptions:
+    def test_legacy_three_arg_form_unchanged(self):
+        assert request_key("d", "parcut", {"rng": 1}) == request_key(
+            "d", "parcut", {"rng": 1}, None
+        )
+
+    def test_falsy_options_equal_absent(self):
+        base = request_key("d", "noi", {})
+        assert request_key("d", "noi", {}, {"all_cuts": False}) == base
+        assert request_key("d", "noi", {}, {}) == base
+
+    def test_output_shape_changes_key(self):
+        base = request_key("d", "noi", {})
+        all_cuts = request_key("d", "noi", {}, {"all_cuts": True})
+        balanced = request_key("d", "noi", {}, {"all_cuts": True, "most_balanced": True})
+        assert len({base, all_cuts, balanced}) == 3
+
+
+class TestEngineIntegration:
+    def test_inline_all_cuts(self, dumbbell):
+        with SolverEngine(pool_size=0) as eng:
+            res = eng.solve(dumbbell, all_cuts=True)
+            assert res.cactus is not None and res.num_min_cuts() == 1
+
+    def test_cache_never_serves_value_only_for_all_cuts(self, dumbbell):
+        # the satellite regression: a cached value-only result must not
+        # satisfy an all_cuts request (and vice versa)
+        with SolverEngine(pool_size=0, cache_size=16) as eng:
+            plain = eng.solve(dumbbell)
+            assert plain.cactus is None
+            rich = eng.solve(dumbbell, all_cuts=True)
+            assert rich.cactus is not None
+            assert len(eng._cache) == 2  # distinct keys, no cross-talk
+            assert eng._cache.hits == 0
+            again = eng.solve(dumbbell, all_cuts=True)
+            assert eng._cache.hits == 1
+            assert again.cactus is not None
+            plain2 = eng.solve(dumbbell)
+            assert eng._cache.hits == 2
+            assert plain2.cactus is None
+
+    @pytest.mark.parametrize("start_method", multiprocessing.get_all_start_methods())
+    def test_pooled_cactus_crosses_process_boundary(self, dumbbell, start_method):
+        if start_method == "forkserver":
+            pytest.skip("forkserver adds nothing over spawn here")
+        with SolverEngine(pool_size=1, start_method=start_method) as eng:
+            res = eng.solve(dumbbell, most_balanced=True)
+            assert res.cactus is not None
+            assert res.num_min_cuts() == 1
+            assert res.stats["most_balanced"]["imbalance"] == 0
+            assert len(res.smaller_side()) == 4
+
+
+class TestServiceIntegration:
+    def test_solve_all_cuts(self, dumbbell):
+        with ServiceThread() as svc, ServiceClient("127.0.0.1", svc.port) as client:
+            status, _headers, body = client.solve(dumbbell, all_cuts=True)
+            assert status == 200
+            assert body["value"] == 1
+            assert body["num_min_cuts"] == 1
+
+    def test_solve_most_balanced_partition_arrays(self, dumbbell):
+        with ServiceThread() as svc, ServiceClient("127.0.0.1", svc.port) as client:
+            status, _headers, body = client.solve(dumbbell, most_balanced=True)
+            assert status == 200
+            mb = body["most_balanced"]
+            assert mb["imbalance"] == 0
+            assert sorted(mb["side"]) in ([0, 1, 2, 3], [4, 5, 6, 7])
+            in_cut = mb["in_cut"]
+            assert len(in_cut) == 8 and sum(in_cut) == 4
+            assert all(v in (0, 1) for v in in_cut)
+
+    def test_solve_many_mixed_options(self, dumbbell):
+        with ServiceThread() as svc, ServiceClient("127.0.0.1", svc.port) as client:
+            status, _headers, body = client.solve_many([
+                {"graph": graph_payload(dumbbell)},
+                {"graph": graph_payload(dumbbell), "all_cuts": True},
+            ])
+            assert status == 200
+            results = body["results"]
+            assert "num_min_cuts" not in results[0]
+            assert results[1]["num_min_cuts"] == 1
+
+    def test_bad_all_cuts_type_rejected(self, dumbbell):
+        with ServiceThread() as svc, ServiceClient("127.0.0.1", svc.port) as client:
+            status, _headers, body = client.request(
+                "POST", "/v1/solve",
+                {"graph": graph_payload(dumbbell), "all_cuts": "yes"},
+            )
+            assert status == 400
+
+
+class TestCliIntegration:
+    @pytest.fixture
+    def metis_file(self, tmp_path, dumbbell):
+        path = tmp_path / "g.graph"
+        write_metis(dumbbell, path)
+        return str(path)
+
+    def test_all_cuts_flag(self, metis_file, capsys):
+        assert cli_main(["--all-cuts", metis_file]) == 0
+        assert "min-cuts  1" in capsys.readouterr().out
+
+    def test_most_balanced_flag(self, metis_file, capsys):
+        assert cli_main(["--most-balanced", "--print-side", metis_file]) == 0
+        out = capsys.readouterr().out
+        assert "balance   4/4 (imbalance 0)" in out
+        side = sorted(int(x) for x in out.split("side")[1].split())
+        assert side in ([0, 1, 2, 3], [4, 5, 6, 7])
+
+    def test_trace_file_validates(self, metis_file, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert cli_main(["--all-cuts", "--trace", str(trace), metis_file]) == 0
+        from repro.observability.schema import validate_trace_file
+
+        summary = validate_trace_file(str(trace))
+        assert summary["by_kind"].get("cactus_build_end") == 1
