@@ -41,6 +41,7 @@ import time
 
 from .core.api import ALGORITHMS, TRACEABLE_ALGORITHMS, minimum_cut
 from .graph.io import read_edge_list, read_metis
+from .kernels import KERNELS
 from .runtime.errors import (
     ExecutorUnavailable,
     NoProgressError,
@@ -103,9 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ap.add_argument("--pq", choices=("bstack", "bqueue", "heap"), default=None,
                     help="priority queue for noi/parcut variants")
-    ap.add_argument("--kernel", choices=("scalar", "vector"), default=None,
+    ap.add_argument("--kernel", choices=KERNELS, default=None,
                     help="CAPFOREST relaxation kernel for noi/parcut variants "
-                    "(identical results; vector batches relaxations via numpy)")
+                    "(identical results; vector batches relaxations via numpy, "
+                    "compiled runs numba-jitted loops and falls back to vector "
+                    "when numba is absent)")
     ap.add_argument("--workers", type=int, default=None, help="parallel workers (parcut)")
     ap.add_argument(
         "--executor",

@@ -25,7 +25,8 @@ This implementation adds the paper's two sequential optimizations:
 
 Relaxation kernels
 ------------------
-Two interchangeable kernels drive the scan, selected by ``kernel=``:
+Three interchangeable kernels drive the scan, selected by ``kernel=``
+(registry: :data:`repro.kernels.KERNELS`):
 
 ``"scalar"``
     The reference implementation: one Python-level loop iteration per arc.
@@ -45,6 +46,13 @@ Two interchangeable kernels drive the scan, selected by ``kernel=``:
     vector kernel runs the scalar relaxation step, so results — λ̂, marks,
     scan order, ``pq_stats`` — are bit-identical to ``kernel="scalar"``
     for every configuration.
+``"compiled"``
+    The scan transcribed into numba ``@njit`` code over flat arrays — the
+    scalar loop, the priority queue, everything — so one call runs the
+    whole pass in machine code (:mod:`repro.kernels.capforest_kernel`).
+    Scalar-order semantics: results are bit-identical to ``"scalar"``.
+    When numba is unavailable the request resolves to ``"vector"`` with a
+    ``kernel_fallback`` note (:func:`repro.kernels.resolve_kernel`).
 """
 
 from __future__ import annotations
@@ -57,28 +65,29 @@ from ..datastructures.pq import PQStats, make_pq
 from ..datastructures.union_find import UnionFind
 from ..graph.csr import Graph
 
+# the kernel registry is homed in repro.kernels (one source of truth for
+# capforest, parallel_capforest, the CLI, and the API); re-exported here
+# for compatibility with existing import sites
+from ..kernels import KERNEL_CROSSOVERS, resolve_kernel
+from ..kernels import KERNELS as KERNELS
+from ..kernels import check_kernel as check_kernel
+
 #: Largest λ̂ for which a bucket queue is still sensible; above this the
 #: bucket array (λ̂ + 1 slots, one per possible priority) would dwarf the
 #: graph and the factory transparently falls back to the binary heap.
 MAX_BUCKET_BOUND = 1 << 22
 
-#: relaxation kernel registry (shared with the parallel scan and the CLI)
-KERNELS = ("scalar", "vector")
-
 #: below this many members, draining the top bucket costs more in array
-#: bookkeeping than the scalar pops it replaces (measured on GNM instances)
-MIN_BATCH = 16
+#: bookkeeping than the scalar pops it replaces — the *vector*-tier
+#: crossover (the compiled tier relaxes arc-by-arc in machine code, see
+#: :data:`repro.kernels.KERNEL_CROSSOVERS` for the per-tier table)
+MIN_BATCH = KERNEL_CROSSOVERS["vector"]["min_batch"]
 
 #: minimum arc-slice length before a *single* pop relaxes its slice with
 #: array expressions — below this the fixed per-call numpy overhead loses
-#: to the plain Python loop (measured crossover on GNM instances)
-POP_VECTOR_MIN_DEGREE = 96
-
-
-def check_kernel(kernel: str) -> str:
-    if kernel not in KERNELS:
-        raise ValueError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
-    return kernel
+#: to the plain Python loop (vector-tier crossover, measured on GNM
+#: instances; per-tier table in :data:`repro.kernels.KERNEL_CROSSOVERS`)
+POP_VECTOR_MIN_DEGREE = KERNEL_CROSSOVERS["vector"]["pop_vector_min_degree"]
 
 
 @dataclass
@@ -166,9 +175,10 @@ def capforest(
         (below λ) where the usual tightening would be wrong; scan cuts are
         still tracked in ``min_alpha`` since each α is a real cut.
     kernel:
-        ``"scalar"`` (reference, one Python iteration per arc) or
-        ``"vector"`` (batched numpy relaxation; identical results — see
-        module docstring).
+        ``"scalar"`` (reference, one Python iteration per arc),
+        ``"vector"`` (batched numpy relaxation), or ``"compiled"``
+        (numba-jitted scan; resolves to ``"vector"`` when numba is
+        unavailable) — identical results either way, see module docstring.
     tracer:
         Optional :class:`repro.observability.Tracer`.  One
         ``capforest_pass`` event is emitted per call — *pass* granularity,
@@ -185,7 +195,7 @@ def capforest(
         raise ValueError(f"lambda_hat must be non-negative, got {lambda_hat}")
     if not bounded and pq_kind != "heap":
         raise ValueError("unbounded CAPFOREST requires the heap queue (bucket queues need a bound)")
-    check_kernel(kernel)
+    kernel, _ = resolve_kernel(kernel, tracer=tracer)
     n = graph.n
     uf = UnionFind(n)
     if n == 0:
@@ -199,25 +209,42 @@ def capforest(
 
     if bounded:
         effective_kind = pq_kind if lambda_hat <= MAX_BUCKET_BOUND else "heap"
-        pq = make_pq(
-            effective_kind, n, bound=lambda_hat, array_keys=kernel == "vector"
-        )
     else:
         effective_kind = "heap"
-        pq = make_pq("heap", n, bound=None)
 
-    run = _capforest_vector if kernel == "vector" else _capforest_scalar
-    res = run(
-        graph,
-        lambda_hat,
-        uf,
-        pq,
-        effective_kind,
-        start,
-        scan_all=scan_all,
-        record_certificates=record_certificates,
-        fixed_bound=fixed_bound,
-    )
+    if kernel == "compiled" and not record_certificates:
+        res = _capforest_compiled(
+            graph,
+            lambda_hat,
+            uf,
+            effective_kind,
+            start,
+            scan_all=scan_all,
+            fixed_bound=fixed_bound,
+            bounded=bounded,
+        )
+    else:
+        # certificate recording needs the per-arc λ̂ bookkeeping only the
+        # scalar loop keeps, so a compiled request with
+        # record_certificates=True runs the (bit-identical) reference
+        pq = make_pq(
+            effective_kind,
+            n,
+            bound=lambda_hat if bounded else None,
+            array_keys=kernel == "vector",
+        )
+        run = _capforest_vector if kernel == "vector" else _capforest_scalar
+        res = run(
+            graph,
+            lambda_hat,
+            uf,
+            pq,
+            effective_kind,
+            start,
+            scan_all=scan_all,
+            record_certificates=record_certificates,
+            fixed_bound=fixed_bound,
+        )
     if tracer is not None:
         tracer.emit(
             "capforest_pass",
@@ -232,6 +259,91 @@ def capforest(
             vertices_scanned=res.vertices_scanned,
         )
     return res
+
+
+def _capforest_compiled(
+    graph: Graph,
+    lambda_hat: int,
+    uf: UnionFind,
+    effective_kind: str,
+    start: int,
+    *,
+    scan_all: bool,
+    fixed_bound: bool,
+    bounded: bool,
+) -> CapforestResult:
+    """Compiled kernel: the whole scan runs inside one jitted call.
+
+    A transcription of :func:`_capforest_scalar` over flat arrays (see
+    :mod:`repro.kernels.capforest_kernel`), so every observable output is
+    bit-identical; marks come back as pair buffers and merge through one
+    ``union_pairs`` call, exactly like the vector kernel.
+    """
+    from ..kernels.capforest_kernel import (
+        OUT_BEST_PREFIX,
+        OUT_EDGES,
+        OUT_ERR,
+        OUT_LAM,
+        OUT_MIN_ALPHA,
+        OUT_N_MARKED,
+        OUT_N_SCANNED,
+        alloc_scan_state,
+        capforest_scan,
+    )
+    from ..kernels.flat_pq import PQ_CODES, SC_POPS, SC_PUSHES, SC_SKIPPED, SC_UPDATES
+
+    n = graph.n
+    code = PQ_CODES[effective_kind]
+    bound = lambda_hat if bounded else -1
+    pq_state, visited, r, scan_order, mark_u, mark_v, out = alloc_scan_state(
+        code, n, len(graph.adjncy), max(bound, 0)
+    )
+    capforest_scan(
+        graph.xadj,
+        graph.adjncy,
+        graph.adjwgt,
+        graph.weighted_degrees(),
+        lambda_hat,
+        start,
+        code,
+        bound,
+        scan_all,
+        fixed_bound,
+        *pq_state,
+        visited,
+        r,
+        scan_order,
+        mark_u,
+        mark_v,
+        out,
+    )
+    if out[OUT_ERR]:
+        from ..runtime.errors import NoProgressError
+
+        raise NoProgressError(f"scan popped more than {n} vertices")
+    n_marked = int(out[OUT_N_MARKED])
+    if n_marked:
+        uf.union_pairs(mark_u[:n_marked], mark_v[:n_marked])
+    sc = pq_state[-1]
+    stats = PQStats(
+        pushes=int(sc[SC_PUSHES]),
+        updates=int(sc[SC_UPDATES]),
+        skipped_updates=int(sc[SC_SKIPPED]),
+        pops=int(sc[SC_POPS]),
+    )
+    k = int(out[OUT_N_SCANNED])
+    min_alpha = int(out[OUT_MIN_ALPHA])
+    return CapforestResult(
+        uf=uf,
+        n_marked=n_marked,
+        lambda_hat=int(out[OUT_LAM]),
+        min_alpha=None if min_alpha < 0 else min_alpha,
+        scan_order=scan_order[:k].tolist(),
+        best_prefix=int(out[OUT_BEST_PREFIX]),
+        pq_stats=stats,
+        vertices_scanned=k,
+        edges_scanned=int(out[OUT_EDGES]),
+    )
 
 
 def _capforest_scalar(

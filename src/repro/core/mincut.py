@@ -49,6 +49,7 @@ from ..graph.components import connected_components
 from ..graph.contract import compose_labels
 from ..graph.csr import Graph
 from ..graph.parallel_contract import parallel_contract_by_labels
+from ..kernels import resolve_kernel
 from ..observability import PARCUT_PHASES, STATS_SCHEMA_VERSION, Tracer
 from ..runtime.errors import NoProgressError, RuntimeFault
 from ..runtime.faults import FaultPlan
@@ -60,13 +61,22 @@ from .parallel_capforest import parallel_capforest
 from .result import MinCutResult
 
 
-def _new_stats(pq_kind: str, executor: str, kernel: str, workers: int) -> dict:
+def _new_stats(
+    pq_kind: str,
+    executor: str,
+    kernel: str,
+    workers: int,
+    kernel_resolved: str | None = None,
+    kernel_fallback: str | None = None,
+) -> dict:
     """The schema-v2 stats dict: every key present from the start."""
     return {
         "stats_schema": STATS_SCHEMA_VERSION,
         "pq_kind": pq_kind,
         "executor": executor,
         "kernel": kernel,
+        "kernel_resolved": kernel_resolved if kernel_resolved is not None else kernel,
+        "kernel_fallback": kernel_fallback,
         "workers": workers,
         "rounds": 0,
         "seq_fallback_rounds": 0,
@@ -132,8 +142,16 @@ def parallel_mincut(
         ``"serial"`` (deterministic round-robin), ``"threads"`` or
         ``"processes"`` — see :mod:`~repro.core.parallel_capforest`.
     kernel:
-        CAPFOREST relaxation kernel (``"scalar"`` or ``"vector"``), used by
-        the parallel workers and both sequential fallbacks alike.
+        CAPFOREST relaxation kernel (``"scalar"``, ``"vector"`` or
+        ``"compiled"`` — :data:`repro.kernels.KERNELS`), used by the
+        parallel workers, both sequential fallbacks, the VieCut seed, and
+        contraction alike.  ``"compiled"`` resolves through
+        :func:`repro.kernels.resolve_kernel`: when numba is unavailable it
+        runs as ``"vector"``, with the requested name in
+        ``stats["kernel"]``, the executed one in
+        ``stats["kernel_resolved"]``, and the reason in
+        ``stats["kernel_fallback"]`` (plus one ``kernel_fallback`` trace
+        event when a tracer is given).
     start_method:
         Multiprocessing start method for ``executor="processes"`` (default:
         ``fork`` where available, else ``spawn``); the method actually used
@@ -165,7 +183,12 @@ def parallel_mincut(
     if isinstance(rng, (int, np.integer)) or rng is None:
         rng = np.random.default_rng(rng)
 
-    stats = _new_stats(pq_kind, executor, kernel, workers)
+    requested_kernel = kernel
+    kernel, kernel_fb = resolve_kernel(kernel, tracer=tracer)
+    stats = _new_stats(
+        pq_kind, executor, requested_kernel, workers,
+        kernel_resolved=kernel, kernel_fallback=kernel_fb,
+    )
     timer = Timer()
     algo = f"parcut-{pq_kind}" + ("" if use_viecut else "-noseed")
 
@@ -178,7 +201,8 @@ def parallel_mincut(
             workers=workers,
             pq_kind=pq_kind,
             executor=executor,
-            kernel=kernel,
+            kernel=requested_kernel,
+            kernel_resolved=kernel,
             use_viecut=use_viecut,
         )
 
@@ -206,7 +230,9 @@ def parallel_mincut(
         vc_workers = workers if executor in ("threads", "processes") else 1
         with timer.phase("viecut"):
             try:
-                seed = viecut(graph, rng=rng, workers=vc_workers, tracer=tracer)
+                seed = viecut(
+                    graph, rng=rng, workers=vc_workers, tracer=tracer, kernel=kernel
+                )
             except RuntimeFault as exc:
                 if on_worker_failure == "fail":
                     raise
@@ -219,7 +245,7 @@ def parallel_mincut(
                         "degradation", stage="viecut", from_workers=vc_workers,
                         to_workers=1, reason=str(exc),
                     )
-                seed = viecut(graph, rng=rng, workers=1, tracer=tracer)
+                seed = viecut(graph, rng=rng, workers=1, tracer=tracer, kernel=kernel)
         stats["viecut_value"] = seed.value
         if seed.value < best_value:
             best_value = seed.value
@@ -337,7 +363,9 @@ def parallel_mincut(
 
         block_labels = uf.labels()
         with timer.phase("contract"):
-            g, contraction = parallel_contract_by_labels(g, block_labels, workers=workers)
+            g, contraction = parallel_contract_by_labels(
+                g, block_labels, workers=workers, kernel=kernel
+            )
         labels = compose_labels(labels, contraction)
         ratio = g.n / round_n
         stats["contraction_ratios"].append(round(ratio, 6))

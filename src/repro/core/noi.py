@@ -30,6 +30,7 @@ import numpy as np
 from ..graph.components import connected_components
 from ..graph.contract import compose_labels, contract_by_union_find
 from ..graph.csr import Graph
+from ..kernels import resolve_kernel
 from .capforest import capforest
 from .result import MinCutResult
 
@@ -58,9 +59,13 @@ def noi_mincut(
         CAPFOREST configuration (see module docstring for the paper's
         variant names).
     kernel:
-        CAPFOREST relaxation kernel, ``"scalar"`` or ``"vector"``
-        (:data:`repro.core.capforest.KERNELS`).  Results are identical;
-        only the speed differs.
+        CAPFOREST relaxation kernel, ``"scalar"``, ``"vector"`` or
+        ``"compiled"`` (:data:`repro.kernels.KERNELS`).  Results are
+        identical; only the speed differs.  A ``"compiled"`` request
+        degrades to ``"vector"`` when numba is unavailable — the stats
+        record the requested name under ``"kernel"``, the one that ran
+        under ``"kernel_resolved"``, and the reason (or ``None``) under
+        ``"kernel_fallback"``.
     initial_bound, initial_side:
         An externally known cut (value and optional side mask), e.g. from
         VieCut.  Must be the capacity of a real cut (any valid upper bound
@@ -97,6 +102,8 @@ def noi_mincut(
     if isinstance(rng, (int, np.integer)) or rng is None:
         rng = np.random.default_rng(rng)
 
+    requested_kernel = kernel
+    kernel, kernel_fb = resolve_kernel(kernel, tracer=tracer)
     stats: dict = {
         "rounds": 0,
         "fallback_rounds": 0,
@@ -108,7 +115,9 @@ def noi_mincut(
         "vertices_scanned": 0,
         "pq_kind": pq_kind,
         "bounded": bounded,
-        "kernel": kernel,
+        "kernel": requested_kernel,
+        "kernel_resolved": kernel,
+        "kernel_fallback": kernel_fb,
     }
     algo = _variant_name(pq_kind, bounded, initial_bound is not None)
     if tracer is not None:
@@ -202,7 +211,7 @@ def noi_mincut(
             uf = sw.uf
             order = sw.scan_order
             uf.union(order[-2], order[-1])
-        g, contraction = contract_by_union_find(g, uf)
+        g, contraction = contract_by_union_find(g, uf, kernel=kernel)
         labels = compose_labels(labels, contraction)
         if trace:
             stats["trace"].append(

@@ -17,13 +17,15 @@ lock-striped union–find (threads), a plain union–find (serial), or
 per-worker merge buffers replayed afterwards (processes) — all equivalent
 because unions commute (Lemma 3.2(1)).
 
-Workers run either the ``scalar`` relaxation kernel (one Python iteration
-per arc — the reference) or the ``vector`` kernel, which relaxes each
-popped vertex's whole arc slice with numpy array expressions.  The vector
-worker stays *per-pop* — it never batches across pops the way the
-sequential vector kernel does — so the pop/claim interleaving, and with it
-the round-robin semantics of the serial executor, is identical between
-kernels.
+Workers run the ``scalar`` relaxation kernel (one Python iteration per
+arc — the reference), the ``vector`` kernel (each popped vertex's whole
+arc slice relaxed with numpy array expressions), or the ``compiled``
+kernel (the arc loop and the flat-array queue jitted by numba — see
+:mod:`repro.kernels`; resolves to ``vector`` when numba is unavailable).
+The vector and compiled workers stay *per-pop* — they never batch across
+pops the way the sequential vector kernel does — so the pop/claim
+interleaving, and with it the round-robin semantics of the serial
+executor, is identical between kernels.
 
 Executors
 ---------
@@ -75,7 +77,7 @@ from ..graph.csr import Graph
 from ..runtime.errors import ExecutorUnavailable, NoProgressError, WorkerCrashed
 from ..runtime.faults import FaultClock, FaultPlan
 from ..runtime.supervisor import supervise_processes, worker_event
-from .capforest import MAX_BUCKET_BOUND, check_kernel
+from .capforest import MAX_BUCKET_BOUND, resolve_kernel
 
 EXECUTORS = ("serial", "threads", "processes")
 
@@ -163,7 +165,7 @@ def _make_worker(graph_arrays, worker_id, start, pq_kind, bound, T, lam_box, uni
     """Build (generator, report) for one worker over prepared graph arrays."""
     xadj, adjncy, adjwgt, wdeg, n = graph_arrays
     report = WorkerReport(worker_id=worker_id, start_vertex=start)
-    region = _region_worker_vector if kernel == "vector" else _region_worker_with_prefix
+    region = _REGION_WORKERS.get(kernel, _region_worker_with_prefix)
     gen = region(
         xadj, adjncy, adjwgt, wdeg, n, T, lam_box, union, start, pq_kind, bound, report
     )
@@ -306,6 +308,100 @@ def _region_worker_vector(
     report.best_prefix = scan_order[:best_len]
 
 
+def _region_worker_compiled(
+    xadj, adjncy, adjwgt, wdeg, n, T, lam_box, union, start, pq_kind, bound, report
+):
+    """Compiled-kernel twin of :func:`_region_worker_with_prefix`.
+
+    The queue lives in flat arrays (:mod:`repro.kernels.flat_pq`) and each
+    popped vertex's arc loop runs through one jitted
+    :func:`~repro.kernels.capforest_kernel.region_relax` call.  The pop /
+    ``T``-claim / yield interleaving stays in Python, one vertex per turn,
+    so the serial executor's round-robin — and with it every observable
+    output — is bit-identical to the scalar worker.  Marked heads come
+    back through ``mark_buf`` and are replayed through ``union`` in arc
+    order, exactly the scalar worker's union sequence.
+    """
+    from ..kernels.capforest_kernel import region_relax
+    from ..kernels.flat_pq import (
+        PQ_CODES,
+        SC_POPS,
+        SC_PUSHES,
+        SC_SIZE,
+        SC_SKIPPED,
+        SC_UPDATES,
+        alloc_pq,
+        pq_insert,
+        pq_pop,
+    )
+
+    code = PQ_CODES[pq_kind if bound <= MAX_BUCKET_BOUND else "heap"]
+    key, evn, enext, eprev, bhead, btail, pos, heap, sc = alloc_pq(
+        code, n, bound, n + len(adjncy) + 1
+    )
+    dead = np.zeros(n, dtype=np.uint8)  # blacklisted-or-locally-visited, merged
+    r = np.zeros(n, dtype=np.int64)
+    max_deg = int(np.max(xadj[1:] - xadj[:-1])) if n > 0 else 0
+    mark_buf = np.empty(max(max_deg, 1), dtype=np.int64)
+    alpha = 0
+    scan_order: list[int] = []
+    best_len = 0
+    stats = report.pq_stats
+
+    def sync_stats() -> None:
+        # the scalar worker exposes its queue's live stats object; here the
+        # counters live in the flat state block and are copied out at every
+        # yield point so partially-consumed generators stay observable
+        stats.pushes = int(sc[SC_PUSHES])
+        stats.updates = int(sc[SC_UPDATES])
+        stats.skipped_updates = int(sc[SC_SKIPPED])
+        stats.pops = int(sc[SC_POPS])
+
+    pq_insert(code, bound, start, 0, key, evn, enext, eprev, bhead, btail, pos, heap, sc)
+    pops = 0
+    while sc[SC_SIZE]:
+        x = int(pq_pop(code, key, evn, enext, eprev, bhead, btail, pos, heap, sc))
+        pops += 1
+        if pops > n:
+            raise NoProgressError(
+                f"worker {report.worker_id} popped {pops} vertices from a {n}-vertex graph"
+            )
+        if T[x]:
+            dead[x] = 1
+            report.blacklisted += 1
+            sync_stats()
+            yield
+            continue
+        T[x] = 1
+        dead[x] = 1
+        alpha += int(wdeg[x]) - 2 * int(r[x])
+        scan_order.append(x)
+        report.vertices_scanned += 1
+        if report.vertices_scanned < n and (report.best_alpha is None or alpha < report.best_alpha):
+            report.best_alpha = alpha
+            best_len = len(scan_order)
+            lam_box.minimize(alpha)
+        lam = lam_box.value
+        edges, cnt = region_relax(
+            x, lam, xadj, adjncy, adjwgt, dead, r, mark_buf,
+            code, bound, key, evn, enext, eprev, bhead, btail, pos, heap, sc,
+        )
+        report.edges_scanned += int(edges)
+        for j in range(int(cnt)):
+            union(x, int(mark_buf[j]))
+        sync_stats()
+        yield
+    sync_stats()
+    report.best_prefix = scan_order[:best_len]
+
+
+_REGION_WORKERS = {
+    "scalar": _region_worker_with_prefix,
+    "vector": _region_worker_vector,
+    "compiled": _region_worker_compiled,
+}
+
+
 def parallel_capforest(
     graph: Graph,
     lambda_hat: int,
@@ -328,9 +424,12 @@ def parallel_capforest(
     nothing (early termination, §3.2) — callers fall back to sequential
     CAPFOREST, as Algorithm 2 does.
 
-    ``kernel`` selects the per-worker relaxation kernel (``"scalar"`` or
-    ``"vector"``, see :data:`repro.core.capforest.KERNELS`); both produce
-    identical results on every executor.
+    ``kernel`` selects the per-worker relaxation kernel (``"scalar"``,
+    ``"vector"``, or ``"compiled"`` — registry
+    :data:`repro.kernels.KERNELS`); all produce identical results on every
+    executor.  A ``"compiled"`` request resolves through
+    :func:`repro.kernels.resolve_kernel` (falling back to ``"vector"``
+    with a ``kernel_fallback`` trace note when numba is unavailable).
 
     ``fixed_bound=True`` freezes the shared marking threshold at the input
     value (workers still report their scan cuts) — the configuration the
@@ -360,7 +459,7 @@ def parallel_capforest(
         raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    check_kernel(kernel)
+    kernel, _ = resolve_kernel(kernel, tracer=tracer)
     n = graph.n
     if n == 0:
         return ParallelCapforestResult(UnionFind(0), 0, lambda_hat, [], None)
@@ -376,13 +475,23 @@ def parallel_capforest(
         _emit_pass_trace(tracer, res, "processes", pq_kind, kernel, lambda_hat)
         return res
 
-    graph_arrays = (
-        graph.xadj.tolist(),
-        graph.adjncy,
-        graph.adjwgt,
-        graph.weighted_degrees().tolist(),
-        n,
-    )
+    if kernel == "compiled":
+        # the jitted region step wants numpy int64 views, not Python lists
+        graph_arrays = (
+            graph.xadj,
+            graph.adjncy,
+            graph.adjwgt,
+            graph.weighted_degrees(),
+            n,
+        )
+    else:
+        graph_arrays = (
+            graph.xadj.tolist(),
+            graph.adjncy,
+            graph.adjwgt,
+            graph.weighted_degrees().tolist(),
+            n,
+        )
     T = bytearray(n)
     lam_box = _FrozenBound(lambda_hat) if fixed_bound else _SharedBound(lambda_hat)
     if executor == "serial":
@@ -685,9 +794,12 @@ def _process_worker(
     visited = SharedBytes.attach(visited_name, n)
     try:
         g = shared_graph.graph()  # arrays are views into the segment: zero-copy
-        graph_arrays = (
-            g.xadj.tolist(), g.adjncy, g.adjwgt, g.weighted_degrees().tolist(), n,
-        )
+        if kernel == "compiled":
+            graph_arrays = (g.xadj, g.adjncy, g.adjwgt, g.weighted_degrees(), n)
+        else:
+            graph_arrays = (
+                g.xadj.tolist(), g.adjncy, g.adjwgt, g.weighted_degrees().tolist(), n,
+            )
 
         # local union–find dedup: a redundant pair adds nothing to the final
         # partition (the closure of the pair multiset), so only partition-
@@ -701,7 +813,7 @@ def _process_worker(
 
         report = WorkerReport(worker_id=worker_id, start_vertex=start)
         lam_box = _FrozenBound(bound) if fixed_bound else _ProcessBound(lam_val, lam_lock)
-        region = _region_worker_vector if kernel == "vector" else _region_worker_with_prefix
+        region = _REGION_WORKERS.get(kernel, _region_worker_with_prefix)
         gen = region(
             graph_arrays[0],
             graph_arrays[1],

@@ -1,0 +1,232 @@
+"""Compiled CAPFOREST: the full sequential scan and the per-pop region step.
+
+:func:`capforest_scan` is a line-for-line transcription of
+``repro.core.capforest._capforest_scalar`` — same NOI mark rule
+``r(y) < λ̂ ≤ r(y) + c(e)``, same α/prefix bookkeeping, same ``scan_all``
+restarts (each registering the crossing-free cut α = 0), same queue event
+sequence via :mod:`.flat_pq` — so every observable output (λ̂, marks, scan
+order, pq counters) is bit-identical to ``kernel="scalar"``.  The one
+structural difference is that mark events are buffered into flat pair
+arrays and merged by the caller with ``UnionFind.union_pairs`` (union
+order never changes the partition), exactly as the vector kernel does.
+
+:func:`region_relax` is the arc loop of one *parallel* worker pop
+(``repro.core.parallel_capforest._region_worker_with_prefix``), factored
+out so the Python-side generator keeps the pop / ``T``-claim / yield
+interleaving — the part that must stay in Python for the round-robin
+serial executor to be deterministic — while the per-arc work runs jitted.
+
+Everything here depends only on numpy and :mod:`.jit` / :mod:`.flat_pq`,
+never on :mod:`repro.core`, so the core modules can import the kernel
+registry without a cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .flat_pq import SC_SIZE, alloc_pq, pq_insert, pq_pop
+from .jit import maybe_njit
+
+#: slots of the int64 ``out`` array filled by :func:`capforest_scan`
+OUT_LAM = 0
+OUT_MIN_ALPHA = 1  # -1 encodes "no proper prefix recorded" (None)
+OUT_BEST_PREFIX = 2
+OUT_N_SCANNED = 3
+OUT_N_MARKED = 4
+OUT_EDGES = 5
+OUT_ERR = 6  # 1 = popped more than n vertices (corrupt queue state)
+OUT_LEN = 7
+
+
+@maybe_njit
+def capforest_scan(
+    xadj,
+    adjncy,
+    adjwgt,
+    wdeg,
+    lambda_hat,
+    start,
+    pq_code,
+    bound,
+    scan_all,
+    fixed_bound,
+    key,
+    ev,
+    enext,
+    eprev,
+    bhead,
+    btail,
+    pos,
+    heap,
+    sc,
+    visited,
+    r,
+    scan_order,
+    mark_u,
+    mark_v,
+    out,
+):
+    """One full sequential CAPFOREST pass over flat arrays.
+
+    ``visited``/``r``/``scan_order``/``mark_u``/``mark_v``/``out`` are
+    caller-allocated outputs (``mark_*`` sized m + 1: each undirected edge
+    is scanned at most once, and at most once marked).
+    """
+    n = r.shape[0]
+    lam = lambda_hat
+    alpha = np.int64(0)
+    min_alpha = np.int64(-1)
+    n_scanned = 0
+    best_prefix = 0
+    n_marked = 0
+    edges_scanned = 0
+
+    pq_insert(pq_code, bound, start, 0, key, ev, enext, eprev, bhead, btail, pos, heap, sc)
+    next_restart = 0
+    while True:
+        if sc[SC_SIZE] == 0:
+            if not scan_all:
+                break
+            # queue drained with vertices left: the scanned/unscanned cut
+            # has no crossing edges, i.e. α == 0 — a real cut of value 0
+            while next_restart < n and visited[next_restart] == 1:
+                next_restart += 1
+            if next_restart == n:
+                break
+            if n_scanned > 0 and (min_alpha == -1 or min_alpha > 0):
+                min_alpha = np.int64(0)
+                best_prefix = n_scanned
+                if not fixed_bound:
+                    lam = np.int64(0)
+            pq_insert(
+                pq_code, bound, next_restart, 0,
+                key, ev, enext, eprev, bhead, btail, pos, heap, sc,
+            )
+
+        x = pq_pop(pq_code, key, ev, enext, eprev, bhead, btail, pos, heap, sc)
+        if n_scanned >= n:
+            out[OUT_ERR] = 1
+            break
+        rx = r[x]
+        alpha += wdeg[x] - 2 * rx
+        visited[x] = 1
+        scan_order[n_scanned] = x
+        n_scanned += 1
+        if n_scanned < n and (min_alpha == -1 or alpha < min_alpha):
+            min_alpha = alpha
+            best_prefix = n_scanned
+            if not fixed_bound and alpha < lam:
+                lam = alpha
+
+        for i in range(xadj[x], xadj[x + 1]):
+            y = adjncy[i]
+            if visited[y] == 1:
+                continue
+            edges_scanned += 1
+            ry = r[y]
+            q = ry + adjwgt[i]
+            if ry < lam and lam <= q:
+                mark_u[n_marked] = x
+                mark_v[n_marked] = y
+                n_marked += 1
+            r[y] = q
+            pq_insert(pq_code, bound, y, q, key, ev, enext, eprev, bhead, btail, pos, heap, sc)
+
+    out[OUT_LAM] = lam
+    out[OUT_MIN_ALPHA] = min_alpha
+    out[OUT_BEST_PREFIX] = best_prefix
+    out[OUT_N_SCANNED] = n_scanned
+    out[OUT_N_MARKED] = n_marked
+    out[OUT_EDGES] = edges_scanned
+
+
+@maybe_njit
+def region_relax(
+    x,
+    lam,
+    xadj,
+    adjncy,
+    adjwgt,
+    dead,
+    r,
+    mark_buf,
+    pq_code,
+    bound,
+    key,
+    ev,
+    enext,
+    eprev,
+    bhead,
+    btail,
+    pos,
+    heap,
+    sc,
+):
+    """Relax one popped vertex's arc slice for a parallel region worker.
+
+    Mirrors the scalar worker's inner loop: arcs towards blacklisted or
+    locally-visited heads are skipped (the shared table ``T`` is *not*
+    consulted — Lemma 3.2(3) marks stay safe either way, and this matches
+    the scalar/vector workers exactly).  Marked heads are written to
+    ``mark_buf`` in arc order; the caller replays them through its
+    ``union`` callable.  Returns ``(edges_scanned, n_marks)``.
+    """
+    edges = 0
+    cnt = 0
+    for i in range(xadj[x], xadj[x + 1]):
+        y = adjncy[i]
+        if dead[y] == 1:
+            continue
+        edges += 1
+        ry = r[y]
+        q = ry + adjwgt[i]
+        if ry < lam and lam <= q:
+            mark_buf[cnt] = y
+            cnt += 1
+        r[y] = q
+        pq_insert(pq_code, bound, y, q, key, ev, enext, eprev, bhead, btail, pos, heap, sc)
+    return edges, cnt
+
+
+def alloc_scan_state(pq_code: int, n: int, num_arcs: int, bound: int):
+    """Queue state plus output buffers for one :func:`capforest_scan` call.
+
+    The entry pool holds ``n + m + 1`` entries (≤ one push per vertex plus
+    ≤ one raise per scanned arc); the mark buffers hold ``m + 1`` pairs
+    (≤ one mark per scanned undirected edge).
+    """
+    m = num_arcs // 2
+    pq_state = alloc_pq(pq_code, n, bound, n + m + 1)
+    visited = np.zeros(n, dtype=np.uint8)
+    r = np.zeros(n, dtype=np.int64)
+    scan_order = np.empty(n, dtype=np.int64)
+    mark_u = np.empty(m + 1, dtype=np.int64)
+    mark_v = np.empty(m + 1, dtype=np.int64)
+    out = np.zeros(OUT_LEN, dtype=np.int64)
+    return pq_state, visited, r, scan_order, mark_u, mark_v, out
+
+
+def warmup_arrays():
+    """A tiny triangle graph in CSR form, for :func:`repro.kernels.warmup`."""
+    xadj = np.array([0, 2, 4, 6], dtype=np.int64)
+    adjncy = np.array([1, 2, 0, 2, 0, 1], dtype=np.int64)
+    adjwgt = np.array([1, 2, 1, 1, 2, 1], dtype=np.int64)
+    wdeg = np.array([3, 2, 3], dtype=np.int64)
+    return xadj, adjncy, adjwgt, wdeg
+
+
+__all__ = [
+    "OUT_BEST_PREFIX",
+    "OUT_EDGES",
+    "OUT_ERR",
+    "OUT_LAM",
+    "OUT_LEN",
+    "OUT_MIN_ALPHA",
+    "OUT_N_MARKED",
+    "OUT_N_SCANNED",
+    "alloc_scan_state",
+    "capforest_scan",
+    "region_relax",
+    "warmup_arrays",
+]

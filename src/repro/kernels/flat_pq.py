@@ -1,0 +1,241 @@
+"""Flat-array addressable max-priority queues for the compiled tier.
+
+Compiled twins of the three queue implementations in
+:mod:`repro.datastructures` — BStack / BQueue (:mod:`~repro.datastructures.
+bucket_pq`) and the bottom-up binary heap (:mod:`~repro.datastructures.
+binary_heap`) — with every piece of state in preallocated int64 numpy
+arrays so the whole queue lives inside ``@njit`` code.  Observable
+behaviour (pop order, tie-breaking, and the Lemma 3.1 push / update /
+skipped-update / pop counters) is bit-identical to the Python classes; the
+kernel parity suite holds the proof.
+
+Bucket representation
+---------------------
+The deque-of-each-bucket becomes an *append-only entry pool*
+(``ev``/``enext``/``eprev``) threaded through per-bucket ``bhead``/
+``btail`` lists.  Lazy deletion carries over unchanged: raising a key
+appends a fresh entry and abandons the old one, which is recognised as
+stale (``key[v] != bucket``) when a pop walks over it.  Entries are only
+ever appended at the tail and detached at one end (head for BQueue, tail
+for BStack), so the pool never needs free-list recycling; CAPFOREST pushes
+each vertex at most once and raises at most once per scanned arc, so a
+pool of ``n + m + 1`` entries can never overflow.
+
+State is split into the array tuple from :func:`alloc_pq` plus an int64
+scalar block ``sc`` (indices ``SC_*``) holding the top-bucket cursor, the
+live size, the pool high-water mark, and the four operation counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .jit import maybe_njit
+
+#: queue codes shared by the capforest kernel and the parallel region step
+PQ_BSTACK = 0
+PQ_BQUEUE = 1
+PQ_HEAP = 2
+
+PQ_CODES = {"bstack": PQ_BSTACK, "bqueue": PQ_BQUEUE, "heap": PQ_HEAP}
+
+# slots of the ``sc`` state-scalar array
+SC_TOP = 0  # top-bucket cursor (bucket kinds; may overestimate, like _top)
+SC_SIZE = 1  # live entries (== len(pq) of the Python classes)
+SC_NENT = 2  # entry-pool high-water mark (bucket kinds)
+SC_PUSHES = 3
+SC_UPDATES = 4
+SC_SKIPPED = 5
+SC_POPS = 6
+SC_LEN = 7
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def alloc_pq(pq_code: int, n: int, bound: int, cap: int):
+    """Allocate flat queue state: ``(key, ev, enext, eprev, bhead, btail,
+    pos, heap, sc)``.
+
+    Unused families get zero-length arrays so a single argument list serves
+    all three kinds inside one jitted function.  ``bound`` is the Lemma 3.1
+    clamp (``-1`` = unbounded, heap only); ``cap`` bounds the bucket entry
+    pool (use ``n + m + 1`` for a CAPFOREST scan).
+    """
+    sc = np.zeros(SC_LEN, dtype=np.int64)
+    sc[SC_TOP] = -1
+    key = np.full(n, -1, dtype=np.int64)
+    if pq_code == PQ_HEAP:
+        pos = np.full(n, -1, dtype=np.int64)
+        heap = np.empty(n, dtype=np.int64)
+        return key, _EMPTY, _EMPTY, _EMPTY, _EMPTY, _EMPTY, pos, heap, sc
+    ev = np.empty(cap, dtype=np.int64)
+    enext = np.empty(cap, dtype=np.int64)
+    eprev = np.empty(cap, dtype=np.int64)
+    bhead = np.full(bound + 1, -1, dtype=np.int64)
+    btail = np.full(bound + 1, -1, dtype=np.int64)
+    return key, ev, enext, eprev, bhead, btail, _EMPTY, _EMPTY, sc
+
+
+@maybe_njit
+def _bucket_append(v, b, ev, enext, eprev, bhead, btail, sc):
+    """Append one pool entry for ``v`` at the tail of bucket ``b``."""
+    e = sc[SC_NENT]
+    sc[SC_NENT] = e + 1
+    ev[e] = v
+    enext[e] = -1
+    tail = btail[b]
+    eprev[e] = tail
+    if tail == -1:
+        bhead[b] = e
+    else:
+        enext[tail] = e
+    btail[b] = e
+
+
+@maybe_njit
+def _heap_sift_up(i, key, pos, heap):
+    v = heap[i]
+    kv = key[v]
+    while i > 0:
+        parent = (i - 1) >> 1
+        p = heap[parent]
+        if key[p] >= kv:
+            break
+        heap[i] = p
+        pos[p] = i
+        i = parent
+    heap[i] = v
+    pos[v] = i
+
+
+@maybe_njit
+def pq_insert(pq_code, bound, v, priority, key, ev, enext, eprev, bhead, btail, pos, heap, sc):
+    """``insert_or_raise(v, priority)`` — event-for-event the Python classes."""
+    if pq_code == PQ_HEAP:
+        if bound < 0 or priority < bound:
+            new = priority
+        else:
+            new = bound
+        p = pos[v]
+        if p == -1:
+            key[v] = new
+            hs = sc[SC_SIZE]
+            heap[hs] = v
+            pos[v] = hs
+            sc[SC_SIZE] = hs + 1
+            _heap_sift_up(hs, key, pos, heap)
+            sc[SC_PUSHES] += 1
+            return
+        cur = key[v]
+        if bound >= 0 and cur >= bound:
+            sc[SC_SKIPPED] += 1  # Lemma 3.1: already at the clamp
+            return
+        if new <= cur:
+            return
+        key[v] = new
+        _heap_sift_up(p, key, pos, heap)
+        sc[SC_UPDATES] += 1
+        return
+    new = priority if priority < bound else bound
+    cur = key[v]
+    if cur == -1:
+        key[v] = new
+        _bucket_append(v, new, ev, enext, eprev, bhead, btail, sc)
+        sc[SC_SIZE] += 1
+        sc[SC_PUSHES] += 1
+        if new > sc[SC_TOP]:
+            sc[SC_TOP] = new
+        return
+    if cur >= bound:
+        sc[SC_SKIPPED] += 1
+        return
+    if new <= cur:
+        return
+    key[v] = new  # the entry in bucket ``cur`` goes stale
+    _bucket_append(v, new, ev, enext, eprev, bhead, btail, sc)
+    sc[SC_UPDATES] += 1
+    if new > sc[SC_TOP]:
+        sc[SC_TOP] = new
+
+
+@maybe_njit
+def pq_pop(pq_code, key, ev, enext, eprev, bhead, btail, pos, heap, sc):
+    """``pop_max()`` → the popped vertex (callers never need the key).
+
+    Caller guarantees the queue is non-empty (``sc[SC_SIZE] > 0``).
+    """
+    if pq_code == PQ_HEAP:
+        v = heap[0]
+        pos[v] = -1
+        # Wegener bottom-up deletion: walk the hole to a leaf along the
+        # larger child, drop the displaced last element in, sift up
+        size = sc[SC_SIZE] - 1
+        sc[SC_SIZE] = size
+        last = heap[size]
+        if size > 0:  # hole == 0 < size, so the Python hole==size case is size==0
+            i = 0
+            while True:
+                child = 2 * i + 1
+                if child >= size:
+                    break
+                right = child + 1
+                if right < size and key[heap[right]] > key[heap[child]]:
+                    child = right
+                heap[i] = heap[child]
+                pos[heap[i]] = i
+                i = child
+            heap[i] = last
+            pos[last] = i
+            _heap_sift_up(i, key, pos, heap)
+        sc[SC_POPS] += 1
+        return v
+    b = sc[SC_TOP]
+    while True:
+        if pq_code == PQ_BQUEUE:
+            e = bhead[b]
+        else:
+            e = btail[b]
+        if e == -1:
+            b -= 1
+            continue
+        v = ev[e]
+        if pq_code == PQ_BQUEUE:  # detach from the head
+            nx = enext[e]
+            bhead[b] = nx
+            if nx == -1:
+                btail[b] = -1
+            else:
+                eprev[nx] = -1
+        else:  # detach from the tail
+            pv = eprev[e]
+            btail[b] = pv
+            if pv == -1:
+                bhead[b] = -1
+            else:
+                enext[pv] = -1
+        if key[v] == b:  # live entry — stale ones are simply discarded
+            break
+    sc[SC_TOP] = b
+    key[v] = -1
+    sc[SC_SIZE] -= 1
+    sc[SC_POPS] += 1
+    return v
+
+
+__all__ = [
+    "PQ_BQUEUE",
+    "PQ_BSTACK",
+    "PQ_CODES",
+    "PQ_HEAP",
+    "SC_LEN",
+    "SC_NENT",
+    "SC_POPS",
+    "SC_PUSHES",
+    "SC_SIZE",
+    "SC_SKIPPED",
+    "SC_TOP",
+    "SC_UPDATES",
+    "alloc_pq",
+    "pq_insert",
+    "pq_pop",
+]

@@ -1,0 +1,93 @@
+"""Numba detection and the ``@maybe_njit`` decorator for the compiled tier.
+
+The compiled kernels are authored as plain Python functions over int64
+numpy arrays and wrapped with :func:`maybe_njit`:
+
+* with numba importable, the wrapper is ``@njit(cache=True)`` — first call
+  per process compiles (or loads the on-disk cache), later calls run
+  machine code;
+* without numba, the wrapper is the identity, so the module always imports
+  and the *same* code path can still be executed as plain Python.
+
+That second property is what makes the tier testable without the
+dependency: setting ``REPRO_COMPILED_PUREPY=1`` (see
+:func:`pure_python_forced`) makes ``repro.kernels.compiled_available()``
+report the tier as runnable, so the parity suite exercises the compiled
+kernels bit-for-bit even on numba-free machines — only slower.  The
+environment variable (rather than a process-local flag) is deliberate:
+spawn-method worker processes inherit it, so forced-mode parity covers the
+process executors too.
+
+Import failures are captured, never raised: a broken numba install (ABI
+mismatch against the local numpy, for instance) degrades to the identity
+decorator with the reason recorded in :data:`NUMBA_DISABLED_REASON`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+#: True iff ``import numba`` succeeded at module load.
+NUMBA_AVAILABLE = False
+
+#: why numba is unusable (``None`` when :data:`NUMBA_AVAILABLE`)
+NUMBA_DISABLED_REASON: str | None = None
+
+try:  # pragma: no cover - taken only where the [compiled] extra is installed
+    from numba import njit as _njit
+
+    NUMBA_AVAILABLE = True
+except Exception as exc:  # noqa: BLE001 - any import failure must degrade, not raise
+    NUMBA_DISABLED_REASON = f"{type(exc).__name__}: {exc}"
+    _njit = None
+
+#: every dispatcher produced by :func:`maybe_njit`, for :func:`compile_count`
+_JITTED: list[Any] = []
+
+
+def pure_python_forced() -> bool:
+    """True when ``REPRO_COMPILED_PUREPY`` forces the compiled tier to run
+    its kernels as plain Python (parity testing without numba).
+
+    Read per call, not at import, so tests can flip it with
+    ``monkeypatch.setenv`` and forked/spawned workers see the same value.
+    """
+    return os.environ.get("REPRO_COMPILED_PUREPY", "") not in ("", "0")
+
+
+def maybe_njit(func=None, **options):
+    """``@njit(cache=True, **options)`` when numba imports, identity otherwise."""
+
+    def wrap(f):
+        if NUMBA_AVAILABLE:  # pragma: no cover - needs the [compiled] extra
+            disp = _njit(cache=True, **options)(f)
+            _JITTED.append(disp)
+            return disp
+        return f
+
+    if func is not None:
+        return wrap(func)
+    return wrap
+
+
+def compile_count() -> int:
+    """Total signatures compiled (or cache-loaded) across all jitted kernels
+    in this process; always 0 without numba.
+
+    The JIT-warmup test uses this as its compile-count hook: after
+    :func:`repro.kernels.warmup` the count is positive and *stays constant*
+    across further solves — proving later requests skip compilation.
+    """
+    if not NUMBA_AVAILABLE:
+        return 0
+    return sum(len(d.signatures) for d in _JITTED)  # pragma: no cover
+
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "NUMBA_DISABLED_REASON",
+    "compile_count",
+    "maybe_njit",
+    "pure_python_forced",
+]

@@ -1,0 +1,62 @@
+"""Compiled (asynchronous) label propagation for VieCut clustering.
+
+:func:`lp_round` is the jitted twin of one round of
+``repro.viecut.label_propagation.propagate_labels`` — the *asynchronous*
+reference engine: vertices are visited in the given order, each adopts the
+neighbour label with the highest incident weight, ties keep the current
+label, and updates are visible immediately.  The reference accumulates
+gains in a dict whose iteration order is first-encounter order over the
+arc slice; here that becomes a label-indexed gain array plus a ``touched``
+stack recording first encounters, walked in the same order — so the
+winning label (first strict maximum) is identical and
+``propagate_labels_compiled`` (in :mod:`repro.viecut.label_propagation`)
+is bit-equal to ``propagate_labels`` for every graph and seed.
+
+Weights are positive integers (graph invariant), so ``gain[lab] == 0``
+is exactly "label not yet touched this slice" and the reset loop restores
+the zero state without an O(n) clear per vertex.
+"""
+
+from __future__ import annotations
+
+from .jit import maybe_njit
+
+
+@maybe_njit
+def lp_round(xadj, adjncy, adjwgt, labels, order, gain, touched):
+    """One asynchronous label-propagation round; returns #vertices moved.
+
+    ``gain`` must be all-zeros on entry (it is restored before return);
+    ``touched`` is an n-slot scratch stack.
+    """
+    changed = 0
+    for idx in range(order.shape[0]):
+        v = order[idx]
+        lo = xadj[v]
+        hi = xadj[v + 1]
+        if lo == hi:
+            continue  # isolated vertices keep their label
+        nt = 0
+        for i in range(lo, hi):
+            lab = labels[adjncy[i]]
+            if gain[lab] == 0:
+                touched[nt] = lab
+                nt += 1
+            gain[lab] += adjwgt[i]
+        own = labels[v]
+        best = own
+        best_gain = gain[own]  # 0 when own is not among the neighbour labels
+        for t in range(nt):
+            lab = touched[t]
+            if gain[lab] > best_gain:  # strict: ties keep the earlier winner
+                best = lab
+                best_gain = gain[lab]
+        for t in range(nt):
+            gain[touched[t]] = 0
+        if best != own:
+            labels[v] = best
+            changed += 1
+    return changed
+
+
+__all__ = ["lp_round"]

@@ -47,6 +47,7 @@ EVENT_KINDS = frozenset(
         "viecut_end",  # VieCut seeding done: value, levels, remnant size
         "capforest_pass",  # one *sequential* CAPFOREST pass (incl. fallbacks)
         "parallel_pass",  # one parallel CAPFOREST pass: work, λ̂, marks
+        "kernel_fallback",  # "compiled" requested but unavailable: ran vector
         "worker_report",  # per-worker counters from a parallel pass
         "worker_event",  # a worker was lost/crashed/timed out/corrupt
         "degradation",  # executor stepped down the ladder
@@ -97,6 +98,8 @@ PARCUT_STATS_KEYS = frozenset(
         "pq_kind",
         "executor",
         "kernel",
+        "kernel_resolved",
+        "kernel_fallback",
         "workers",
         "rounds",
         "seq_fallback_rounds",

@@ -36,6 +36,7 @@ def viecut(
     rng: np.random.Generator | int | None = None,
     workers: int = 1,
     lp_method: str = "sync",
+    kernel: str = "scalar",
     pr34_max_arcs: int = 1 << 16,
     tracer=None,
 ) -> MinCutResult:
@@ -60,7 +61,17 @@ def viecut(
         :func:`~repro.viecut.label_propagation.propagate_labels_parallel`).
     lp_method:
         Label-propagation engine when ``workers == 1``: ``"sync"``
-        (vectorized, the fast default) or ``"async"`` (reference scan).
+        (vectorized, the fast default), ``"async"`` (reference scan) or
+        ``"compiled"`` (jitted async twin — identical labels to
+        ``"async"`` for every graph and seed).  The default stays
+        ``"sync"`` regardless of ``kernel`` so a driver's clustering is
+        identical across kernel tiers.
+    kernel:
+        Relaxation kernel for the final exact NOI solve on the remnant
+        graph and for the level contractions
+        (:data:`repro.kernels.KERNELS`; resolved through
+        :func:`repro.kernels.resolve_kernel`).  Does not change the
+        clustering, so the returned cut is kernel-independent.
     pr34_max_arcs:
         The triangle/star PR tests (common-neighbour intersections, a
         Python loop) run only once the contracted graph has at most this
@@ -84,7 +95,17 @@ def viecut(
     if isinstance(rng, (int, np.integer)) or rng is None:
         rng = np.random.default_rng(rng)
 
-    stats: dict = {"levels": 0, "final_exact_n": 0}
+    from ..kernels import resolve_kernel
+
+    requested_kernel = kernel
+    kernel, kernel_fb = resolve_kernel(kernel, tracer=tracer)
+    stats: dict = {
+        "levels": 0,
+        "final_exact_n": 0,
+        "kernel": requested_kernel,
+        "kernel_resolved": kernel,
+        "kernel_fallback": kernel_fb,
+    }
     if tracer is not None:
         tracer.emit("viecut_start", n=n, m=graph.m, workers=workers, lp_method=lp_method)
 
@@ -124,7 +145,7 @@ def viecut(
         if int(clusters.max()) + 1 == g.n:
             break  # no cluster merged anything; LP has stalled
         level_n = g.n
-        g, lbl = contract_by_labels(g, clusters)
+        g, lbl = contract_by_labels(g, clusters, kernel=kernel)
         labels = compose_labels(labels, lbl)
         stats["levels"] += 1
         if tracer is not None:
@@ -147,7 +168,7 @@ def viecut(
 
             uf = pr12_marks(g, best_value)
         if uf.count < g.n:
-            g, lbl = contract_by_union_find(g, uf)
+            g, lbl = contract_by_union_find(g, uf, kernel=kernel)
             labels = compose_labels(labels, lbl)
             if g.n < 2:
                 break
@@ -160,7 +181,7 @@ def viecut(
     if g.n >= 2:
         from ..core.noi import noi_mincut  # local import: noi ⇄ viecut seeding
 
-        exact = noi_mincut(g, pq_kind="heap", bounded=True, rng=rng)
+        exact = noi_mincut(g, pq_kind="heap", bounded=True, rng=rng, kernel=kernel)
         if exact.value < best_value:
             best_value = exact.value
             best_side = exact.side[labels]

@@ -132,8 +132,15 @@ def test_no_segments_leaked_by_lifecycle():
 
 
 @pytest.mark.parametrize("start_method", START_METHODS)
-@pytest.mark.parametrize("kernel", ["scalar", "vector"])
-def test_processes_executor_exact_under_both_start_methods(start_method, kernel):
+@pytest.mark.parametrize("kernel", ["scalar", "vector", "compiled"])
+def test_processes_executor_exact_under_both_start_methods(start_method, kernel, monkeypatch):
+    if kernel == "compiled":
+        from repro.kernels import NUMBA_AVAILABLE
+
+        if not NUMBA_AVAILABLE:
+            # genuinely execute the compiled code paths (as pure Python) in
+            # worker processes: fork and spawn children inherit the env var
+            monkeypatch.setenv("REPRO_COMPILED_PUREPY", "1")
     g = connected_gnm(120, 500, rng=3, weights=(1, 9))
     expected = noi_mincut(g, rng=0).value
     before = _shm_names()
