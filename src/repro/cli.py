@@ -30,6 +30,15 @@ don't override.  Every item reports its own status line and exit code;
 the process exits 0 only when every item succeeded, otherwise with the
 first failing item's code.  ``--trace`` in batch mode records the
 *engine-level* event stream (request spans, cache hits, pool recycles).
+
+Update-stream mode (``--updates FILE``, combined with an input PATH)
+treats the input graph as *dynamic*: each stream batch
+(``{"inserts": [[u, v, w?], ...], "deletes": [[u, v], ...]}``, JSONL or a
+JSON array) is applied through :meth:`~repro.engine.SolverEngine.update`,
+which re-solves warm from the previous cut (fast-path / seeded / cold —
+see :mod:`repro.dynamic`).  One status line per batch reports the warm
+mode and the new minimum-cut value; ``--trace`` records ``graph_update``
+and ``warm_solve`` events alongside the engine stream.
 """
 
 from __future__ import annotations
@@ -81,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve a manifest of graphs (JSONL or JSON array of items "
         "with at least a 'path') through one persistent solver engine; "
         "prints a status line and exit code per item",
+    )
+    ap.add_argument(
+        "--updates",
+        metavar="FILE",
+        default=None,
+        help="apply an edge-update stream (JSONL or JSON array of "
+        "{'inserts': [[u,v,w?],..], 'deletes': [[u,v],..]} batches) to the "
+        "input graph through one persistent engine, re-solving warm after "
+        "each batch; prints a status line per batch",
     )
     ap.add_argument(
         "--pool-size",
@@ -268,16 +286,106 @@ def _run_batch(args, tracer) -> int:
     return next((c for c in codes if c != EXIT_OK), EXIT_OK)
 
 
+def _load_update_stream(path: str) -> list[dict]:
+    """Parse an update stream: a JSON array, or JSONL (one batch per line)."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        batches = json.loads(text)
+    else:
+        batches = [
+            json.loads(line) for line in text.splitlines() if line.strip()
+        ]
+    if not isinstance(batches, list) or not batches:
+        raise ValueError("update stream contains no batches")
+    for i, batch in enumerate(batches):
+        if not isinstance(batch, dict):
+            raise ValueError(f"update batch {i} is not an object: {batch!r}")
+        if not isinstance(batch.get("inserts", []), list) or not isinstance(
+            batch.get("deletes", []), list
+        ):
+            raise ValueError(f"update batch {i} inserts/deletes must be lists")
+    return batches
+
+
+def _run_updates(args, tracer) -> int:
+    """Stream mode: apply every batch through one engine, re-solving warm."""
+    from .dynamic import EdgeUpdateError
+    from .dynamic.graph import DynamicGraph
+    from .engine import SolverEngine
+
+    reader = read_metis if args.format == "metis" else read_edge_list
+    try:
+        graph = reader(args.path)
+        batches = _load_update_stream(args.updates)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INVALID_INPUT
+
+    kwargs: dict = {"rng": args.seed}
+    if args.pq is not None:
+        kwargs["pq_kind"] = args.pq
+    if args.kernel is not None:
+        kwargs["kernel"] = args.kernel
+    if args.all_cuts or args.most_balanced:
+        kwargs["all_cuts"] = True
+    if args.most_balanced:
+        kwargs["most_balanced"] = True
+
+    codes = [EXIT_OK] * (len(batches) + 1)
+    t0 = time.perf_counter()
+    with SolverEngine(pool_size=args.pool_size, tracer=tracer,
+                      default_algorithm=args.algorithm) as engine:
+        dyn = DynamicGraph(graph)
+        stream = [({}, "initial")] + [(b, f"update[{i}]") for i, b in
+                                      enumerate(batches)]
+        for i, (batch, label) in enumerate(stream):
+            try:
+                res = engine.update(
+                    dyn, batch.get("inserts", ()), batch.get("deletes", ()),
+                    deadline=batch.get("deadline", args.timeout), **kwargs,
+                )
+            except (EdgeUpdateError, ValueError, TypeError) as exc:
+                codes[i] = EXIT_INVALID_INPUT
+                print(f"{label} exit={EXIT_INVALID_INPUT} error: {exc}")
+            except RuntimeFault as exc:
+                codes[i] = exit_code_for(exc)
+                print(f"{label} exit={codes[i]} error: {exc}")
+            else:
+                warm = res.stats.get("warm") or {}
+                cuts = "" if res.cactus is None else f" min-cuts={res.num_min_cuts()}"
+                print(
+                    f"{label} exit=0 mode={warm.get('mode', '?')} "
+                    f"mincut={res.value} n={dyn.graph.n} m={dyn.graph.m}{cuts}"
+                )
+        stats = engine.stats()
+    elapsed = time.perf_counter() - t0
+    failed = sum(1 for c in codes if c != EXIT_OK)
+    print(
+        f"updates   {len(batches)} batches, {failed} failed, {elapsed:.4f}s, "
+        f"fast-path {stats['updates_fast_path']}, "
+        f"seeded {stats['updates_seeded']}, cold {stats['updates_cold']}"
+    )
+    if tracer is not None:
+        tracer.close()
+    return next((c for c in codes if c != EXIT_OK), EXIT_OK)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if (args.path is None) == (args.batch is None):
+    if args.updates is not None and (args.path is None or args.batch is not None):
+        print("error: --updates needs an input PATH and excludes --batch",
+              file=sys.stderr)
+        return EXIT_INVALID_INPUT
+    if args.updates is None and (args.path is None) == (args.batch is None):
         print("error: exactly one of PATH or --batch is required", file=sys.stderr)
         return EXIT_INVALID_INPUT
-    if args.batch is not None:
+    if args.batch is not None or args.updates is not None:
         if args.metrics_json is not None or args.print_side:
             print(
                 "error: --metrics-json/--print-side are single-solve only, "
-                "not available with --batch",
+                "not available with --batch/--updates",
                 file=sys.stderr,
             )
             return EXIT_INVALID_INPUT
@@ -290,6 +398,8 @@ def main(argv: list[str] | None = None) -> int:
             except OSError as exc:
                 print(f"error opening trace sink {args.trace}: {exc}", file=sys.stderr)
                 return EXIT_INVALID_INPUT
+        if args.updates is not None:
+            return _run_updates(args, tracer)
         return _run_batch(args, tracer)
     reader = read_metis if args.format == "metis" else read_edge_list
     try:

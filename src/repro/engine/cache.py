@@ -51,6 +51,18 @@ class ResultCache:
             self.hits += 1
             return _clone(proto)
 
+    def peek(self, key: str) -> MinCutResult | None:
+        """Counter-neutral lookup: no hit/miss accounting, no LRU refresh.
+
+        The dispatcher uses this for its queued-duplicate check in
+        ``_assign`` — the caller already paid a counted lookup at submit
+        time, and counting the same request twice skews the hit/miss ratios
+        ``engine.stats()`` and ``/v1/stats`` report.
+        """
+        with self._lock:
+            proto = self._entries.get(key)
+            return None if proto is None else _clone(proto)
+
     def put(self, key: str, result: MinCutResult) -> None:
         """Store ``result`` under ``key``, evicting the LRU entry if full."""
         if self.capacity == 0:
@@ -77,6 +89,23 @@ class ResultCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+
+    def invalidate_digest(self, digest: str) -> int:
+        """Evict every entry belonging to one graph digest; returns the count.
+
+        Request keys are ``digest:algorithm:kwargs[:options]`` with a
+        fixed-width hex digest, so lineage invalidation after a graph
+        update is a prefix scan.  Counter-neutral: evicting a superseded
+        graph's entries says nothing about hit/miss behaviour, and — unlike
+        ``clear()`` — the other graphs' entries and the accounting epoch
+        survive untouched.
+        """
+        prefix = digest + ":"
+        with self._lock:
+            stale = [k for k in self._entries if k.startswith(prefix)]
+            for k in stale:
+                del self._entries[k]
+            return len(stale)
 
     def stats(self) -> dict:
         with self._lock:

@@ -245,6 +245,8 @@ class SolverEngine:
         self._counters = {
             "submitted": 0, "completed": 0, "failed": 0, "cancelled": 0,
             "retries": 0, "inline_solves": 0, "pool_abandoned": False,
+            "updates": 0, "updates_fast_path": 0, "updates_seeded": 0,
+            "updates_cold": 0, "cache_invalidated": 0,
         }
         if tracer is not None:
             tracer.emit(
@@ -356,6 +358,168 @@ class SolverEngine:
         return self.submit(
             graph, algorithm, deadline=deadline, cache=cache, **kwargs
         ).result()
+
+    def update(
+        self,
+        dynamic,
+        inserts=(),
+        deletes=(),
+        *,
+        algorithm: str | None = None,
+        deadline: float | None = None,
+        cache: bool = True,
+        all_cuts: bool = False,
+        most_balanced: bool = False,
+        **kwargs,
+    ) -> MinCutResult:
+        """Apply an edge-update batch to a :class:`~repro.dynamic.DynamicGraph`
+        and re-solve it — warm when possible.
+
+        The batch is applied first (incremental CSR merge, see
+        :mod:`repro.dynamic.graph`); the superseded digest's cache entries
+        are evicted by lineage (:meth:`ResultCache.invalidate_digest` —
+        other graphs' entries survive).  Then the cheapest exact path wins:
+
+        1. **cache** — an identical request on the post-update graph;
+        2. **fast path** — the carried λ̂ bounds meet across the batch and
+           the re-priced old side (or a touched trivial cut) is *proven*
+           minimum without solving (:mod:`repro.dynamic.warm`);
+        3. **seeded solve** — NOI seeded with the certified post-update
+           bound and side, on the certificate-contracted graph when the
+           strict certificate survives the batch;
+        4. **cold solve** — through :meth:`submit` (non-warmable algorithm,
+           no prior state, or a side-less previous result).
+
+        Warm results are exact: the value always equals a cold re-solve's;
+        the side is a certified minimum cut (when several minimum cuts
+        exist it may legitimately differ from the cold solver's pick —
+        ``all_cuts``/``most_balanced`` outputs are canonical either way,
+        since the cactus is deterministic given the graph).  ``deadline``
+        applies to the cold-fallback path; warm re-solves are run to
+        completion on the calling thread (they are the cheap path).
+        ``result.stats["warm"]`` records which path ran.
+        """
+        from ..core.api import ALGORITHMS, EXACT_ALGORITHMS, attach_cactus
+        from ..dynamic import make_warm_state, warm_solve
+
+        algorithm = algorithm or self.default_algorithm
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+            )
+        all_cuts = bool(all_cuts or most_balanced)
+        if all_cuts and algorithm not in EXACT_ALGORITHMS:
+            raise ValueError(
+                f"all_cuts/most_balanced require an exact algorithm, got {algorithm!r}"
+            )
+        for bad in _UNPOOLABLE_KWARGS:
+            if bad in kwargs:
+                raise ValueError(
+                    f"{bad!r} cannot cross the engine boundary; seed with an "
+                    "integer and trace at the engine level instead"
+                )
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        options = {"all_cuts": all_cuts, "most_balanced": bool(most_balanced)}
+        # canary keying: reject uncanonicalisable kwargs *before* mutating
+        # the graph, so a bad request leaves the handle untouched
+        request_key("0" * 32, algorithm, kwargs, options)
+        with self._lock:
+            if self._closing or self._closed:
+                raise EngineClosed("engine is closed")
+
+        with dynamic.lock:
+            old_digest = dynamic.digest
+            t0 = time.monotonic()
+            delta = dynamic.apply(inserts, deletes)
+            invalidated = 0
+            if not delta.is_noop:
+                invalidated = self._cache.invalidate_digest(old_digest)
+            graph = dynamic.graph
+            self._emit(
+                "graph_update",
+                old_digest=old_digest[:12], new_digest=delta.new_digest[:12],
+                version=dynamic.version, n=graph.n, m=graph.m,
+                num_inserted=delta.num_inserted, num_deleted=delta.num_deleted,
+                inserted_weight=delta.inserted_weight,
+                deleted_weight=delta.deleted_weight,
+                cache_invalidated=invalidated,
+                apply_seconds=round(time.monotonic() - t0, 6),
+            )
+            key = request_key(delta.new_digest, algorithm, kwargs, options)
+            if cache:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._emit("cache_hit", digest=delta.new_digest,
+                               source="update")
+                    with self._lock:
+                        self._counters["updates"] += 1
+                        self._counters["cache_invalidated"] += invalidated
+                    return cached
+
+            state = dynamic.warm
+            out = None
+            if state is not None and state.digest == old_digest:
+                out = warm_solve(
+                    graph, state, delta, algorithm=algorithm, kwargs=kwargs
+                )
+            kernel = kwargs.get("kernel", "scalar")
+            if out is not None:
+                result, info = out
+                if all_cuts:
+                    attach_cactus(graph, result, most_balanced=most_balanced)
+                if info["mode"] == "fast-path":
+                    counter = "updates_fast_path"
+                    # carry the state forward: the certificate's connectivity
+                    # claim decays by the deleted weight, nothing else changes
+                    state.digest = delta.new_digest
+                    state.value = int(result.value)
+                    state.side = result.side
+                    if state.cert_labels is not None:
+                        state.cert_bound -= delta.deleted_weight
+                else:
+                    counter = "updates_seeded"
+                    dynamic.warm = make_warm_state(
+                        graph, delta.new_digest, result, kernel=kernel
+                    )
+                if cache:
+                    self._cache.put(key, result)
+            else:
+                fut = self.submit(
+                    graph, algorithm, deadline=deadline, cache=cache,
+                    all_cuts=all_cuts, most_balanced=most_balanced, **kwargs,
+                )
+                result = fut.result()
+                info = {
+                    "mode": "cold", "seed_value": None, "lower_bound": None,
+                    "previous_value": None if state is None else state.value,
+                    "inserted_weight": delta.inserted_weight,
+                    "deleted_weight": delta.deleted_weight,
+                    "contracted_n": None,
+                }
+                counter = "updates_cold"
+                if algorithm in EXACT_ALGORITHMS and result.side is not None:
+                    dynamic.warm = make_warm_state(
+                        graph, delta.new_digest, result, kernel=kernel
+                    )
+                else:
+                    dynamic.warm = None
+            result.stats.setdefault("warm", info)
+            seconds = round(time.monotonic() - t0, 6)
+            with self._lock:
+                self._counters["updates"] += 1
+                self._counters[counter] += 1
+                self._counters["cache_invalidated"] += invalidated
+            self._emit(
+                "warm_solve",
+                mode=info["mode"], value=int(result.value),
+                seed_value=info.get("seed_value"),
+                lower_bound=info.get("lower_bound"),
+                contracted_n=info.get("contracted_n"),
+                digest=delta.new_digest[:12], algorithm=algorithm,
+                seconds=seconds,
+            )
+            return result
 
     def solve_many(
         self,
@@ -551,12 +715,15 @@ class SolverEngine:
         while self._pending:
             req = self._pending.popleft()
             if req.deadline is not None and now > req.deadline:
-                self._finish(req, exc=WorkerTimeout(-1, now - req.submitted_at),
+                self._finish(req, exc=self._queue_expired(req, now),
                              status="timeout", locked=True)
                 continue
             if req.cacheable:
-                # a duplicate completed while this one queued: serve it now
-                cached = self._cache.get(req.key)
+                # a duplicate completed while this one queued: serve it now.
+                # peek(), not get(): the submit-time lookup already counted
+                # this request once, and double-counting a miss per queued
+                # request skews the stats() / /v1/stats hit ratios.
+                cached = self._cache.peek(req.key)
                 if cached is not None:
                     self._emit("cache_hit", req_id=req.req_id, digest=req.digest)
                     self._finish(req, result=cached, status="cached", locked=True)
@@ -591,6 +758,23 @@ class SolverEngine:
             self._pool.submit(worker_id, task)
         still_pending.extend(self._pending)
         self._pending = still_pending
+
+    @staticmethod
+    def _queue_expired(req: _Request, now: float) -> WorkerTimeout:
+        """Deadline blown while still queued: no worker was ever involved,
+        so the message carries request context instead of a worker id."""
+        elapsed = now - req.submitted_at
+        budget = req.deadline - req.submitted_at
+        return WorkerTimeout(
+            None,
+            elapsed,
+            message=(
+                f"request {req.req_id} (algorithm={req.algorithm}, "
+                f"digest={req.digest[:12]}) expired in queue after "
+                f"{elapsed:.3f}s (deadline {budget:.3g}s), never assigned "
+                "to a worker"
+            ),
+        )
 
     def _solve_inline(self, req: _Request) -> None:
         """Degraded path: run the solve on the dispatcher thread."""

@@ -61,7 +61,11 @@ def request_key(
     """
     try:
         blob = json.dumps(kwargs, sort_keys=True, separators=(",", ":"))
-        opts = {k: v for k, v in (options or {}).items() if v}
+        # Options are output-shape *flags*: coerce truthy values to bool so
+        # all_cuts=1 and all_cuts=True serialise identically (`true`) and
+        # never split the cache; falsy values still drop out entirely,
+        # keeping the historical 3-segment key byte-stable.
+        opts = {k: bool(v) for k, v in (options or {}).items() if v}
         opt_blob = (
             ":" + json.dumps(opts, sort_keys=True, separators=(",", ":"))
             if opts

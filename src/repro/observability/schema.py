@@ -58,6 +58,9 @@ EVENT_KINDS = frozenset(
         "request_end",  # per request: status (ok/cached/timeout/...), seconds
         "cache_hit",  # a request was served from the result cache
         "pool_recycle",  # a pool worker was respawned, or the pool abandoned
+        # -- dynamic-graph kinds (repro.dynamic): the update-stream view
+        "graph_update",  # an edge batch was applied: digests, sizes, weights
+        "warm_solve",  # a warm re-solve ran: mode, seed bound, seconds
         # -- service-level kinds (repro.service): the network front-end view
         "service_start",  # once per server: host, port, admission budgets
         "service_stop",  # once, on shutdown: request counters

@@ -58,12 +58,22 @@ class WorkerCrashed(RuntimeFault):
 
 
 class WorkerTimeout(RuntimeFault):
-    """A worker failed to report within its deadline."""
+    """A worker failed to report within its deadline.
 
-    def __init__(self, worker_id: int, deadline: float) -> None:
+    ``worker_id`` is ``None`` when no worker was ever involved — e.g. a
+    request whose deadline expired while still queued; such callers supply
+    their own ``message`` with request context instead of the per-worker
+    default.
+    """
+
+    def __init__(
+        self, worker_id: int | None, deadline: float, message: str | None = None
+    ) -> None:
         self.worker_id = worker_id
         self.deadline = deadline
-        super().__init__(f"worker {worker_id} exceeded its {deadline:.3g}s deadline")
+        super().__init__(
+            message or f"worker {worker_id} exceeded its {deadline:.3g}s deadline"
+        )
 
 
 class ExecutorUnavailable(RuntimeFault):

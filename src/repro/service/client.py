@@ -68,6 +68,16 @@ class ServiceClient:
             graph = graph_payload(graph)
         return self.request("POST", "/v1/solve", {"graph": graph, **fields})
 
+    def update(self, graph_id: str, **fields):
+        """``POST /v1/update``; the first call for a ``graph_id`` registers
+        it by passing ``graph=<CSR graph or {"n", "edges"} dict>``, later
+        calls send ``inserts``/``deletes`` edge batches against it."""
+        graph = fields.get("graph")
+        if graph is not None and not isinstance(graph, dict):
+            fields["graph"] = graph_payload(graph)
+        return self.request("POST", "/v1/update",
+                            {"graph_id": graph_id, **fields})
+
     def solve_many(self, items: list[dict], **fields):
         return self.request("POST", "/v1/solve_many",
                             {"items": items, **fields})

@@ -102,6 +102,7 @@ class ServiceConfig:
     retry_after_s: int = 1  # advertised in 429/503 Retry-After headers
     keepalive_timeout_s: float = 30.0  # idle keep-alive connection lifetime
     allow_test_faults: bool = False  # accept `_test_fault` kwargs (CI smoke)
+    max_dynamic_graphs: int = 64  # registered /v1/update graph handles
 
 
 def graph_from_json(obj) -> "object":
@@ -225,8 +226,12 @@ class MinCutService:
         self._counters = {
             "connections": 0, "requests": 0, "admitted": 0, "shed": 0,
             "done_ok": 0, "done_error": 0, "disconnects": 0, "retries": 0,
-            "drain_cancelled": 0,
+            "drain_cancelled": 0, "updates": 0,
         }
+        # /v1/update graph registry: created/looked-up on the event loop
+        # thread only (no lock needed); solver threads share the handles,
+        # whose own lock serialises concurrent updates per graph_id
+        self._dynamic: dict[str, object] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -402,12 +407,14 @@ class MinCutService:
             return 200, self.stats(), None
         if route == ("POST", "/v1/solve"):
             return await self._handle_solve(req, stream, client)
+        if route == ("POST", "/v1/update"):
+            return await self._handle_update(req, stream, client)
         if route == ("POST", "/v1/solve_many"):
             return await self._handle_many(req, stream, client, batch=False)
         if route == ("POST", "/v1/batch"):
             return await self._handle_many(req, stream, client, batch=True)
         if req.path in ("/v1/healthz", "/v1/stats", "/v1/solve",
-                        "/v1/solve_many", "/v1/batch"):
+                        "/v1/update", "/v1/solve_many", "/v1/batch"):
             raise HttpError(405, f"{req.method} not allowed on {req.path}")
         raise HttpError(404, f"no route {req.path}")
 
@@ -541,6 +548,98 @@ class MinCutService:
         self._request_done(ctx, 200)
         return 200, payload, None
 
+    def _edge_batch(self, body: dict, key: str, arity: int) -> list:
+        """Validate the wire shape of an ``inserts``/``deletes`` list."""
+        batch = body.get(key, [])
+        if not isinstance(batch, list):
+            raise HttpError(400, f"'{key}' must be a list")
+        for i, row in enumerate(batch):
+            if not isinstance(row, (list, tuple)) or not (
+                2 <= len(row) <= arity
+            ):
+                want = "[u, v]" if arity == 2 else "[u, v] or [u, v, w]"
+                raise HttpError(400, f"{key}[{i}] must be {want}")
+        return batch
+
+    def _dynamic_handle(self, body: dict):
+        """Resolve (or register) the request's dynamic-graph handle.
+
+        Runs on the event loop thread, which owns the registry: a request
+        carrying ``graph`` registers a new ``graph_id`` (409 if taken, 413
+        when the registry is full); one without must name a known id (404).
+        """
+        from ..dynamic import DynamicGraph
+
+        graph_id = body.get("graph_id")
+        if not isinstance(graph_id, str) or not graph_id:
+            raise HttpError(400, "'graph_id' must be a non-empty string")
+        if "graph" in body:
+            if graph_id in self._dynamic:
+                raise HttpError(
+                    409, f"graph_id {graph_id!r} is already registered; "
+                         "omit 'graph' to update it"
+                )
+            if len(self._dynamic) >= self.config.max_dynamic_graphs:
+                raise HttpError(
+                    413, f"dynamic graph registry is full "
+                         f"({self.config.max_dynamic_graphs} graphs)"
+                )
+            self._dynamic[graph_id] = DynamicGraph(graph_from_json(body["graph"]))
+        handle = self._dynamic.get(graph_id)
+        if handle is None:
+            raise HttpError(
+                404, f"unknown graph_id {graph_id!r}; register it by "
+                     "including 'graph' in the first request"
+            )
+        return graph_id, handle
+
+    async def _handle_update(self, req: Request, stream: BufferedStream,
+                             client: str) -> tuple[int, dict, dict | None]:
+        """``POST /v1/update``: apply an edge batch to a registered dynamic
+        graph and return the (warm) re-solve — same admission, deadline,
+        disconnect, and failure machinery as ``/v1/solve``."""
+        body = req.json()
+        if not isinstance(body, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        deadline_abs, timeout_ms = self._deadline_from(req, body)
+        ctx, shed = self._admit("/v1/update", client, 1, deadline_abs,
+                                timeout_ms)
+        if ctx is None:
+            return shed
+        try:
+            algorithm, kwargs, cache, options = self._parse_solve_fields(body)
+            inserts = self._edge_batch(body, "inserts", 3)
+            deletes = self._edge_batch(body, "deletes", 2)
+            graph_id, handle = self._dynamic_handle(body)
+            include_side = bool(body.get("include_side", False))
+        except HttpError:
+            self._request_done(ctx, 400)
+            raise
+        self._counters["updates"] += 1
+        solve_task = asyncio.create_task(asyncio.to_thread(
+            self._update_blocking, ctx, handle, inserts, deletes, algorithm,
+            kwargs, cache, options,
+        ))
+        solve_task.add_done_callback(_reap_task)
+        try:
+            result = await self._await_with_disconnect(solve_task, stream, ctx)
+        except ClientDisconnected:
+            self._on_disconnect(ctx, solve_task)
+            raise
+        except Exception as exc:  # noqa: BLE001 - classified into HTTP statuses
+            kind, status = classify_failure(exc)
+            self._request_done(ctx, status)
+            return status, self._failure_body(exc, kind, ctx, timeout_ms), None
+        payload = self._result_body(result, include_side, ctx)
+        payload["graph_id"] = graph_id
+        payload["version"] = handle.version
+        payload["digest"] = handle.digest
+        payload["n"] = handle.graph.n
+        payload["m"] = handle.graph.m
+        payload["warm"] = result.stats.get("warm")
+        self._request_done(ctx, 200)
+        return 200, payload, None
+
     async def _handle_many(self, req: Request, stream: BufferedStream,
                            client: str, *, batch: bool
                            ) -> tuple[int, dict, dict | None]:
@@ -652,6 +751,41 @@ class MinCutService:
                     raise
                 attempts_left -= 1
                 ctx.retries += 1
+                sleep_s = backoff * (0.5 + self._rng.random())
+                backoff *= 2.0
+                if time.monotonic() + sleep_s >= ctx.deadline_abs:
+                    raise
+                time.sleep(sleep_s)
+
+    def _update_blocking(self, ctx: _RequestCtx, handle, inserts, deletes,
+                         algorithm: str | None, kwargs: dict, cache: bool,
+                         options: dict) -> object:
+        """Apply + re-solve one update on a ``to_thread`` worker.
+
+        Retries mirror :meth:`_solve_blocking`, with one twist: the batch
+        is applied exactly once — a retry after a cold-path worker crash
+        re-enters :meth:`SolverEngine.update` with *empty* batches (a
+        no-op apply) so edges are never inserted or deleted twice.
+        """
+        attempts_left = self.config.retry_attempts
+        backoff = self.config.retry_backoff_s
+        while True:
+            if ctx.cancelled:
+                raise RequestCancelled("client went away")
+            remaining = ctx.deadline_abs - time.monotonic()
+            if remaining <= 0:
+                raise WorkerTimeout(-1, ctx.elapsed)
+            try:
+                return self._engine.update(
+                    handle, inserts, deletes, algorithm=algorithm,
+                    deadline=remaining, cache=cache, **options, **kwargs,
+                )
+            except WorkerCrashed:
+                if attempts_left <= 0:
+                    raise
+                attempts_left -= 1
+                ctx.retries += 1
+                inserts, deletes = (), ()  # batch already applied
                 sleep_s = backoff * (0.5 + self._rng.random())
                 backoff *= 2.0
                 if time.monotonic() + sleep_s >= ctx.deadline_abs:

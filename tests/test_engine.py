@@ -79,6 +79,20 @@ class TestKeys:
         with pytest.raises(UnkeyableRequest):
             request_key("d", "parcut", {"rng": np.random.default_rng(0)})
 
+    def test_truthy_option_values_coerce_to_bool(self):
+        # all_cuts=1 and all_cuts=True are the same output shape; keeping
+        # the raw value verbatim used to split the cache between them
+        canonical = request_key("d", "noi", {"rng": 0}, {"all_cuts": True})
+        assert request_key("d", "noi", {"rng": 0}, {"all_cuts": 1}) == canonical
+        assert request_key("d", "noi", {"rng": 0}, {"all_cuts": "yes"}) == canonical
+
+    def test_falsy_options_keep_legacy_key_byte_stable(self):
+        legacy = request_key("d", "noi", {"rng": 0})
+        assert legacy == 'd:noi:{"rng":0}'  # the historical 3-segment form
+        assert request_key(
+            "d", "noi", {"rng": 0}, {"all_cuts": False, "most_balanced": 0}
+        ) == legacy
+
 
 # ---------------------------------------------------------------------------
 # result cache
@@ -386,6 +400,29 @@ class TestEngineFaults:
             # the worker was never recycled: the request died in the queue
             assert eng.stats()["pool"]["recycles"] == 0
 
+    def test_queue_expiry_message_names_the_request_not_a_worker(
+        self, dumbbell, weighted_cycle
+    ):
+        # a queue-expired request never touched a worker; its error used to
+        # blame "worker -1", which sent operators hunting a phantom crash
+        with SolverEngine(pool_size=1) as eng:
+            eng.submit(
+                dumbbell, cache=False,
+                _test_fault={"test_fault": "hang", "sleep_seconds": 0.8},
+            )
+            starved = eng.submit(weighted_cycle, deadline=0.2, cache=False)
+            with pytest.raises(WorkerTimeout) as exc_info:
+                starved.result(timeout=30)
+            exc = exc_info.value
+            assert exc.worker_id is None  # not a real (or phantom) worker
+            message = str(exc)
+            assert "expired in queue" in message
+            assert "never assigned to a worker" in message
+            assert starved.digest[:12] in message
+            assert starved.algorithm in message
+            assert "deadline 0.2s" in message
+            assert not message.startswith("worker")  # no "worker -1" blame
+
 
 class TestEngineLifecycle:
     def test_submit_after_close_raises(self, dumbbell):
@@ -536,6 +573,43 @@ class TestConcurrentCancellation:
             assert stats["pool"]["recycles"] == 1
             assert stats["cancelled"] == 1
         assert _shm_names() <= shm_before
+
+
+# ---------------------------------------------------------------------------
+# cache accounting: one lookup per request
+# ---------------------------------------------------------------------------
+
+
+class TestCacheAccounting:
+    def test_queued_duplicate_served_without_double_count(self, dumbbell, weighted_cycle):
+        # a cacheable request misses at submit, waits behind a busy worker,
+        # and a twin result lands in the cache meanwhile; assignment must
+        # serve it via the counter-neutral peek, NOT a second counted get —
+        # the old double-count inflated the hit ratio for every request
+        # served from the queue
+        tracer = Tracer()
+        with SolverEngine(pool_size=1, tracer=tracer) as eng:
+            blocker = eng.submit(
+                dumbbell, cache=False,
+                _test_fault={"test_fault": "hang", "sleep_seconds": 0.6},
+            )
+            queued = eng.submit(weighted_cycle)  # the submit-time miss
+            eng._cache.put(queued._request.key, minimum_cut(weighted_cycle, rng=0))
+            assert queued.result(timeout=30).value == 2
+            blocker.result(timeout=30)
+            stats = eng.stats()["cache"]
+        # exactly one counted lookup: the submit-time miss.  Before the fix
+        # this read hits=1, misses=1 (ratio 0.5) for a sequence with no
+        # counted hit at all.
+        assert stats["hits"] == 0
+        assert stats["misses"] == 1
+        assert stats["hit_ratio"] == 0.0
+        # the request really was served from the cache, not re-solved
+        statuses = {
+            e["req_id"]: e["status"]
+            for e in tracer.events() if e["kind"] == "request_end"
+        }
+        assert statuses[queued.req_id] == "cached"
 
 
 # ---------------------------------------------------------------------------

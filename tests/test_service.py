@@ -384,6 +384,89 @@ class TestServiceEndToEnd:
             assert after == before  # same keep-alive socket throughout
 
 
+class TestServiceDynamicUpdates:
+    def test_register_update_and_warm_resolve(self, service, dumbbell):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            status, _h, body = client.update("dyn-a", graph=dumbbell)
+            assert status == 200
+            assert body["value"] == 1 and body["version"] == 0
+            assert body["warm"]["mode"] == "cold"  # first solve seeds state
+            digest0 = body["digest"]
+
+            status, _h, body = client.update(
+                "dyn-a", inserts=[[3, 4, 2]], include_side=True
+            )
+            assert status == 200
+            assert body["value"] == 3  # bridge weight 1 → 3 (= min degree)
+            assert body["version"] == 1 and body["digest"] != digest0
+            assert body["warm"]["mode"] in ("fast-path", "seeded",
+                                            "seeded-contracted")
+            # the reported side must be a genuine minimum cut of the
+            # *updated* graph (several cuts tie at 3, any is acceptable)
+            import numpy as np
+
+            from repro.dynamic import apply_updates
+
+            updated, *_ = apply_updates(dumbbell, [(3, 4, 2)], ())
+            mask = np.zeros(8, dtype=bool)
+            mask[body["side"]] = True
+            assert updated.cut_value(mask) == 3
+
+            status, _h, body = client.update("dyn-a", deletes=[[3, 4]])
+            assert status == 200
+            assert body["value"] == 0  # the dumbbell halves disconnect
+            assert body["m"] == 12 and body["version"] == 2
+
+    def test_unknown_graph_id_404(self, service):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            status, _h, body = client.update("never-registered",
+                                             inserts=[[0, 1, 1]])
+            assert status == 404 and "never-registered" in body["error"]
+
+    def test_reregister_conflict_409(self, service, dumbbell, weighted_cycle):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            assert client.update("dyn-b", graph=dumbbell)[0] == 200
+            status, _h, body = client.update("dyn-b", graph=weighted_cycle)
+            assert status == 409 and "already registered" in body["error"]
+
+    def test_malformed_batches_400(self, service, dumbbell):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            assert client.update("dyn-c", graph=dumbbell)[0] == 200
+            # wire-shape error: rows must be [u, v] / [u, v, w]
+            status, _h, body = client.update("dyn-c", inserts=[[1]])
+            assert status == 400 and "inserts[0]" in body["error"]
+            # semantic error: deleting an absent edge classifies as invalid
+            status, _h, body = client.update("dyn-c", deletes=[[0, 7]])
+            assert status == 400 and body["kind"] == "invalid"
+            # failed batches never mutate the handle
+            status, _h, body = client.update("dyn-c")
+            assert status == 200 and body["version"] == 0
+
+    def test_missing_graph_id_400(self, service, dumbbell):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            status, _h, body = client.request(
+                "POST", "/v1/update", {"graph": graph_payload(dumbbell)}
+            )
+            assert status == 400 and "graph_id" in body["error"]
+
+    def test_registry_capacity_413(self, dumbbell):
+        with ServiceThread(
+            engine_kwargs={"pool_size": 0},
+            config=ServiceConfig(max_dynamic_graphs=1),
+        ) as st, ServiceClient("127.0.0.1", st.port) as client:
+            assert client.update("one", graph=dumbbell)[0] == 200
+            status, _h, body = client.update("two", graph=dumbbell)
+            assert status == 413 and "registry is full" in body["error"]
+
+    def test_update_counter_in_stats(self, service, dumbbell):
+        with ServiceClient("127.0.0.1", service.port) as client:
+            before = client.stats()["service"].get("updates", 0)
+            client.update("dyn-d", graph=dumbbell)
+            client.update("dyn-d", inserts=[[0, 4, 1]])
+            after = client.stats()["service"]["updates"]
+            assert after == before + 2
+
+
 # ---------------------------------------------------------------------------
 # robustness: backpressure, deadlines, disconnects, drain
 # ---------------------------------------------------------------------------
