@@ -94,6 +94,7 @@ def test_record_cactus_overhead():
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "cactus-all-cuts",
+        "headline_metric": "cactus_relative_throughput_median",
         "graph": {"name": GRAPH_NAME, "specs": GRAPH_SPECS, "cycle_n": 32},
         "pairs": PAIRS,
         "min_cut_counts": expected_counts,

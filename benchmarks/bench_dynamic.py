@@ -126,6 +126,7 @@ def test_record_dynamic_update_throughput():
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "dynamic-updates",
+        "headline_metric": "warm_over_cold_speedup_median",
         "graph": {"name": GRAPH_NAME, "spec": GRAPH_SPEC},
         "batches": BATCHES,
         "algorithm": ALGORITHM,

@@ -127,6 +127,7 @@ def test_record_engine_throughput():
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "solver-engine",
+        "headline_metric": "engine_speedup_median",
         "graph": {"name": GRAPH_NAME, "specs": GRAPH_SPECS},
         "solves": SOLVES,
         "pairs": PAIRS,

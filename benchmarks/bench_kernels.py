@@ -178,6 +178,7 @@ def test_record_kernel_trajectory(kernel_graph):
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "capforest-kernels",
+        "headline_metric": "vector_over_scalar_speedup_median",
         "graph": {"name": GRAPH_NAME, **{k: v for k, v in GRAPH_SPEC.items()}},
         "pairs": PAIRS,
         "vector_over_scalar_speedup_median": round(speedup, 3),

@@ -237,6 +237,7 @@ def test_record_service_load():
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "benchmark": "mincut-service",
+        "headline_metric": "service_relative_throughput_median",
         "graph": {"name": GRAPH_NAME,
                   "small_specs": SMALL_SPECS, "heavy_specs": HEAVY_SPECS},
         "solves": SOLVES,

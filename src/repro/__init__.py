@@ -27,6 +27,7 @@ __all__ = [
     "minimum_cut",
     "MinCutResult",
     "SolverEngine",
+    "UnknownAlgorithmError",
     "__version__",
 ]
 
@@ -34,7 +35,7 @@ __all__ = [
 def __getattr__(name: str):
     # Lazy imports keep `import repro` cheap and avoid import cycles while
     # the solver stack (core/api) pulls in most of the package.
-    if name in ("minimum_cut", "MinCutResult", "ALGORITHMS"):
+    if name in ("minimum_cut", "MinCutResult", "ALGORITHMS", "UnknownAlgorithmError"):
         from .core import api
 
         return getattr(api, name)

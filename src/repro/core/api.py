@@ -27,8 +27,18 @@ Algorithm names (paper variant in brackets):
 ``"stoer-wagner"`` Stoer–Wagner baseline
 ``"hao-orlin"``    Hao–Orlin push-relabel baseline [HO-CGKLS]
 ``"karger-stein"`` Randomized recursive contraction (Monte Carlo)
+``"karger-nlt"``   Exact tree-packing solver (Karger near-linear-time
+                   family): greedy spanning-tree packing + per-tree minimum
+                   1-/2-respecting cuts; kwargs: ``rng`` (int seed —
+                   deterministic and engine-cacheable), ``trees_per_round``,
+                   ``executor``, ``workers``, ``timeout``,
+                   ``on_worker_failure`` — see :mod:`repro.treepack`
 ``"matula"``       Matula (2+ε)-approximation (paper §5 future work)
 =================  ==========================================================
+
+Unknown algorithm names raise :class:`UnknownAlgorithmError` — a
+``ValueError`` subclass — uniformly across this facade, the engine, the
+CLI, and the service (the service maps it to HTTP 400).
 """
 
 from __future__ import annotations
@@ -109,6 +119,12 @@ def _karger_stein(graph: Graph, **kw) -> MinCutResult:
     return karger_stein(graph, **kw)
 
 
+def _karger_nlt(graph: Graph, **kw) -> MinCutResult:
+    from ..treepack.solver import karger_nlt_mincut
+
+    return karger_nlt_mincut(graph, **kw)
+
+
 def _matula(graph: Graph, **kw) -> MinCutResult:
     from ..baselines.matula import matula_approx
 
@@ -124,15 +140,36 @@ ALGORITHMS: dict[str, Callable[..., MinCutResult]] = {
     "stoer-wagner": _stoer_wagner,
     "hao-orlin": _hao_orlin,
     "karger-stein": _karger_stein,
+    "karger-nlt": _karger_nlt,
     "matula": _matula,
 }
 
 #: algorithms guaranteed to return the exact minimum cut
-EXACT_ALGORITHMS = ("noi", "noi-hnss", "noi-viecut", "parcut", "stoer-wagner", "hao-orlin")
+EXACT_ALGORITHMS = (
+    "noi", "noi-hnss", "noi-viecut", "parcut", "stoer-wagner", "hao-orlin",
+    "karger-nlt",
+)
 
 #: algorithms that accept ``tracer=`` (a :class:`repro.observability.Tracer`)
 #: and emit structured trace events; the CLI's ``--trace`` is limited to these
-TRACEABLE_ALGORITHMS = ("noi", "noi-hnss", "noi-viecut", "parcut", "viecut")
+TRACEABLE_ALGORITHMS = ("noi", "noi-hnss", "noi-viecut", "parcut", "viecut", "karger-nlt")
+
+
+class UnknownAlgorithmError(ValueError):
+    """``algorithm`` does not name a registry entry.
+
+    One error type for every surface: :func:`minimum_cut`, the engine's
+    ``submit``/``update`` paths, the CLI (exit code 2), and the service
+    (HTTP 400) — previously the facade raised a bare ``ValueError`` while
+    other layers re-derived their own, so callers could not catch the
+    condition portably.
+    """
+
+    def __init__(self, algorithm) -> None:
+        super().__init__(
+            f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
+        )
+        self.algorithm = algorithm
 
 
 def minimum_cut(
@@ -204,9 +241,7 @@ def minimum_cut(
     try:
         solver = ALGORITHMS[algorithm]
     except KeyError:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
-        ) from None
+        raise UnknownAlgorithmError(algorithm) from None
     all_cuts = all_cuts or most_balanced
     if all_cuts and algorithm not in EXACT_ALGORITHMS:
         raise ValueError(

@@ -218,13 +218,10 @@ class SolverEngine:
         max_recycles: int = DEFAULT_MAX_RECYCLES,
         tracer=None,
     ) -> None:
-        from ..core.api import ALGORITHMS
+        from ..core.api import ALGORITHMS, UnknownAlgorithmError
 
         if default_algorithm not in ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {default_algorithm!r}; "
-                f"available: {sorted(ALGORITHMS)}"
-            )
+            raise UnknownAlgorithmError(default_algorithm)
         self.default_algorithm = default_algorithm
         self.max_recycles = max_recycles
         self._tracer = tracer
@@ -289,13 +286,11 @@ class SolverEngine:
         containers — seed with ``rng=<int>``, never a live Generator or
         tracer object).
         """
-        from ..core.api import ALGORITHMS, EXACT_ALGORITHMS
+        from ..core.api import ALGORITHMS, EXACT_ALGORITHMS, UnknownAlgorithmError
 
         algorithm = algorithm or self.default_algorithm
         if algorithm not in ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
-            )
+            raise UnknownAlgorithmError(algorithm)
         all_cuts = bool(all_cuts or most_balanced)
         if all_cuts and algorithm not in EXACT_ALGORITHMS:
             raise ValueError(
@@ -399,14 +394,17 @@ class SolverEngine:
         completion on the calling thread (they are the cheap path).
         ``result.stats["warm"]`` records which path ran.
         """
-        from ..core.api import ALGORITHMS, EXACT_ALGORITHMS, attach_cactus
+        from ..core.api import (
+            ALGORITHMS,
+            EXACT_ALGORITHMS,
+            UnknownAlgorithmError,
+            attach_cactus,
+        )
         from ..dynamic import make_warm_state, warm_solve
 
         algorithm = algorithm or self.default_algorithm
         if algorithm not in ALGORITHMS:
-            raise ValueError(
-                f"unknown algorithm {algorithm!r}; available: {sorted(ALGORITHMS)}"
-            )
+            raise UnknownAlgorithmError(algorithm)
         all_cuts = bool(all_cuts or most_balanced)
         if all_cuts and algorithm not in EXACT_ALGORITHMS:
             raise ValueError(

@@ -7,6 +7,10 @@ metric against the committed baseline::
         --baseline BENCH_parcut.json --candidate fresh/BENCH_parcut.json \\
         --metric vector_over_scalar_speedup_median
 
+``--metric`` may be omitted when both payloads carry a ``headline_metric``
+key naming their own headline — that is what lets CI gate every
+``BENCH_*.json`` through one glob loop with zero per-benchmark YAML.
+
 The tolerance policy is **warn-then-fail**, tuned for shared CI runners
 where wall-clock metrics are noisy:
 
@@ -72,8 +76,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     ap.add_argument("--baseline", required=True, help="committed BENCH_*.json")
     ap.add_argument("--candidate", required=True, help="freshly generated BENCH_*.json")
-    ap.add_argument("--metric", required=True,
-                    help="top-level metric key to compare (higher is better)")
+    ap.add_argument("--metric", default=None,
+                    help="top-level metric key to compare (higher is better); "
+                    "defaults to the payloads' own headline_metric")
     ap.add_argument("--warn-ratio", type=float, default=0.85,
                     help="warn below candidate/baseline of this (default: 0.85)")
     ap.add_argument("--fail-ratio", type=float, default=0.7,
@@ -85,8 +90,20 @@ def main(argv: list[str] | None = None) -> int:
     try:
         baseline = validate_bench_file(args.baseline)
         candidate = validate_bench_file(args.candidate)
+        metric = args.metric
+        if metric is None:
+            metric = candidate.get("headline_metric")
+            if metric is None:
+                raise SchemaError(
+                    "no --metric given and candidate has no headline_metric"
+                )
+            if baseline.get("headline_metric") not in (None, metric):
+                raise SchemaError(
+                    f"headline_metric mismatch: baseline says "
+                    f"{baseline.get('headline_metric')!r}, candidate says {metric!r}"
+                )
         verdict, _ratio, message = compare(
-            baseline, candidate, args.metric, args.warn_ratio, args.fail_ratio
+            baseline, candidate, metric, args.warn_ratio, args.fail_ratio
         )
     except (OSError, SchemaError) as exc:
         print(f"bench gate error: {exc}", file=sys.stderr)

@@ -74,12 +74,16 @@ EVENT_KINDS = frozenset(
         "cactus_build_start",  # construction began: n, m, lam
         "cactus_build_end",  # done: contracted n, cut/node/cycle counts, seconds
         "cactus_query",  # a query ran on the structure: query name + answer
+        # -- tree-packing kinds (repro.treepack): the karger-nlt view
+        "treepack_round",  # one pack+evaluate round: packing bound, λ̂, certificate
+        "treepack_tree",  # one tree examined: 1-/2-respecting minima, best value
     }
 )
 
 #: where a ``lambda_update`` bound came from.  ``disconnected`` covers the
-#: value-0 early return (one component versus the rest); the other five are
-#: the mechanisms of Algorithm 2.
+#: value-0 early return (one component versus the rest); ``treepack`` is a
+#: 1- or 2-respecting cut of a packed spanning tree (``karger-nlt``); the
+#: other five are the mechanisms of Algorithm 2.
 LAMBDA_PROVENANCE = (
     "viecut",
     "scan-cut",
@@ -87,6 +91,7 @@ LAMBDA_PROVENANCE = (
     "seq-fallback",
     "sw-fallback",
     "disconnected",
+    "treepack",
 )
 
 #: the wall-time phases profiled by ``parallel_mincut`` — always all
@@ -122,6 +127,36 @@ PARCUT_STATS_KEYS = frozenset(
         "final_executor",
         "modeled_speedup",
         "contraction_ratios",
+        "phase_seconds",
+    }
+)
+
+
+#: the wall-time phases profiled by ``karger_nlt_mincut`` — always all
+#: present in ``stats["phase_seconds"]`` (0.0 when a phase never ran).
+TREEPACK_PHASES = ("packing", "dp")
+
+#: canonical key set of ``karger_nlt_mincut(...).stats`` under schema v2.
+#: Every return path (including disconnected early exit) emits exactly
+#: these keys.
+TREEPACK_STATS_KEYS = frozenset(
+    {
+        "stats_schema",
+        "seed",
+        "rounds",
+        "trees_packed",
+        "trees_evaluated",
+        "distinct_trees",
+        "packing_value_lb",
+        "certified",
+        "min_degree_bound",
+        "one_respect_min",
+        "two_respect_min",
+        "executor",
+        "final_executor",
+        "workers",
+        "worker_events",
+        "degradations",
         "phase_seconds",
     }
 )
@@ -234,6 +269,29 @@ def validate_parcut_stats(stats: dict) -> dict:
     return stats
 
 
+def validate_treepack_stats(stats: dict) -> dict:
+    """Check a ``karger_nlt_mincut`` stats dict against schema v2."""
+    if not isinstance(stats, dict):
+        raise SchemaError("stats is not a dict")
+    if stats.get("stats_schema") != STATS_SCHEMA_VERSION:
+        raise SchemaError(
+            f"stats_schema is {stats.get('stats_schema')!r}, "
+            f"expected {STATS_SCHEMA_VERSION}"
+        )
+    missing = TREEPACK_STATS_KEYS - set(stats)
+    if missing:
+        raise SchemaError(f"stats missing keys: {sorted(missing)}")
+    extra = set(stats) - TREEPACK_STATS_KEYS
+    if extra:
+        raise SchemaError(f"stats has unknown keys: {sorted(extra)}")
+    phases = stats["phase_seconds"]
+    if set(phases) != set(TREEPACK_PHASES):
+        raise SchemaError(
+            f"phase_seconds keys {sorted(phases)} != {sorted(TREEPACK_PHASES)}"
+        )
+    return stats
+
+
 #: keys every ``BENCH_*.json`` top-level object must carry.
 BENCH_TOP_KEYS = ("schema_version", "benchmark", "graph", "records")
 
@@ -242,12 +300,30 @@ BENCH_RECORD_KEYS = ("variant", "kernel", "executor", "wall_s")
 
 
 def validate_bench_payload(payload: dict) -> dict:
-    """Check one benchmark JSON document against the bench-record schema."""
+    """Check one benchmark JSON document against the bench-record schema.
+
+    ``headline_metric``, when present, must name a numeric top-level key —
+    it is what the generic bench gate compares when no ``--metric`` is
+    passed, so a dangling or non-numeric pointer is a schema error.
+    """
     if not isinstance(payload, dict):
         raise SchemaError("benchmark payload is not an object")
     for key in BENCH_TOP_KEYS:
         if key not in payload:
             raise SchemaError(f"benchmark payload missing {key!r}")
+    headline = payload.get("headline_metric")
+    if headline is not None:
+        if not isinstance(headline, str) or headline not in payload:
+            raise SchemaError(
+                f"headline_metric {headline!r} does not name a top-level key"
+            )
+        if not isinstance(payload[headline], (int, float)) or isinstance(
+            payload[headline], bool
+        ):
+            raise SchemaError(
+                f"headline_metric {headline!r} points at a non-numeric value: "
+                f"{payload[headline]!r}"
+            )
     if payload["schema_version"] != BENCH_SCHEMA_VERSION:
         raise SchemaError(
             f"benchmark schema_version is {payload['schema_version']!r}, "

@@ -1,0 +1,14 @@
+"""Tree-packing exact minimum cut (Karger near-linear-time family)."""
+
+from .packing import TreePacking
+from .respect import RootedTree, evaluate_tree
+from .solver import TREEPACK_PHASES, TREEPACK_STATS_KEYS, karger_nlt_mincut
+
+__all__ = [
+    "TreePacking",
+    "RootedTree",
+    "evaluate_tree",
+    "karger_nlt_mincut",
+    "TREEPACK_PHASES",
+    "TREEPACK_STATS_KEYS",
+]

@@ -1,0 +1,220 @@
+"""Minimum 1- and 2-respecting cuts of one spanning tree (Karger §4–5).
+
+A cut *k-respects* a spanning tree ``T`` when at most ``k`` of its crossing
+edges are tree edges.  Karger's tree-packing theorem reduces exact minimum
+cut to examining every tree of a sufficiently heavy packing for its best
+1- and 2-respecting cut; this module is that per-tree examination.
+
+The implementation is link/cut-tree-free, as an offline dynamic program
+over the Euler tour of the rooted tree:
+
+* **Euler intervals.**  A preorder numbering ``tin``/``tout`` makes every
+  subtree a contiguous interval, so "is ``u`` in the subtree of ``v``"
+  is two comparisons and every subtree aggregate is a prefix-sum
+  difference.
+* **1-respecting cuts.**  Each non-root vertex ``v`` defines the cut
+  ``(subtree(v), rest)``.  An edge ``{u, w}`` crosses it iff exactly one
+  endpoint lies below ``v`` — equivalently its contribution is
+  ``+c`` at ``u``, ``+c`` at ``w`` and ``-2c`` at ``lca(u, w)`` summed
+  over the subtree.  One offline batch LCA (binary lifting, vectorized)
+  plus one prefix sum yields all ``n - 1`` values in ``O(m log n)``.
+* **2-respecting cuts.**  Two tree edges (named by their lower endpoints
+  ``a``, ``b``) define the side ``subtree(a) ∪ subtree(b)`` when the
+  subtrees are disjoint and ``subtree(a) ∖ subtree(b)`` when nested, with
+
+  - disjoint: ``cut(a∪b) = cut1(a) + cut1(b) - 2·w(sub(a), sub(b))``
+  - nested:   ``cut(a∖b) = cut1(a) + cut1(b) - 2·w(sub(b), V∖sub(a))``
+
+  For a fixed ``a`` both correction terms are subtree sums over ``b`` of
+  point masses placed at the *outside* (resp. *inside*) endpoints of the
+  edges leaving ``subtree(a)``, so one pass builds two prefix-sum arrays
+  and scores **every** partner ``b`` vectorized.  Total per tree:
+  ``O(n·(n + m))`` element operations, all inside numpy.
+
+This trades the paper-optimal ``O(m log² n)`` for a dense, allocation-light
+scan that wins at the sizes the experiment harness charts (and needs no
+dynamic-tree machinery); the crossover study in ``BENCH_treepack.json``
+is the honest record of where that trade stands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RootedTree", "evaluate_tree"]
+
+#: sentinel for "no 2-respecting partner exists" (n = 2 trees)
+_INF = np.iinfo(np.int64).max // 4
+
+
+class RootedTree:
+    """Euler-tour view of one spanning tree rooted at vertex 0.
+
+    Parameters
+    ----------
+    parent:
+        ``int64[n]`` with ``parent[0] == -1``; every other entry names the
+        vertex's tree parent.  Children are visited in ascending vertex
+        order, so the tour — and with it every downstream value — is a
+        deterministic function of the edge set.
+    """
+
+    def __init__(self, parent: np.ndarray) -> None:
+        parent = np.asarray(parent, dtype=np.int64)
+        n = len(parent)
+        if n == 0 or parent[0] != -1:
+            raise ValueError("parent must root the tree at vertex 0")
+        self.n = n
+        self.parent = parent
+        tin = np.empty(n, dtype=np.int64)
+        tout = np.empty(n, dtype=np.int64)
+        depth = np.zeros(n, dtype=np.int64)
+        # children grouped by parent, each group in ascending child order
+        # (stable sort of ascending child ids)
+        kids = 1 + np.argsort(parent[1:], kind="stable")
+        counts = np.bincount(parent[1:], minlength=n)
+        offs = np.concatenate(([0], np.cumsum(counts)))
+        clock = 0
+        stack = [(0, 0)]  # (vertex, next-child cursor)
+        tin[0] = 0
+        clock = 1
+        while stack:
+            v, cursor = stack[-1]
+            lo, hi = offs[v], offs[v + 1]
+            if cursor < hi - lo:
+                stack[-1] = (v, cursor + 1)
+                c = int(kids[lo + cursor])
+                depth[c] = depth[v] + 1
+                tin[c] = clock
+                clock += 1
+                stack.append((c, 0))
+            else:
+                tout[v] = clock - 1
+                stack.pop()
+        self.tin = tin
+        self.tout = tout
+        self.depth = depth
+        # binary lifting table; root lifts to itself
+        log = max(1, int(np.ceil(np.log2(max(n, 2)))))
+        up = np.empty((log, n), dtype=np.int64)
+        up0 = parent.copy()
+        up0[0] = 0
+        up[0] = up0
+        for k in range(1, log):
+            up[k] = up[k - 1][up[k - 1]]
+        self.up = up
+
+    def lca(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Lowest common ancestors of the pairs ``(us[i], vs[i])``."""
+        up, depth = self.up, self.depth
+        a = np.asarray(us, dtype=np.int64).copy()
+        b = np.asarray(vs, dtype=np.int64).copy()
+        # make a the deeper endpoint, then lift it level with b
+        swap = depth[b] > depth[a]
+        a[swap], b[swap] = b[swap], a[swap].copy()
+        diff = depth[a] - depth[b]
+        for k in range(up.shape[0]):
+            lift = ((diff >> k) & 1).astype(bool)
+            if lift.any():
+                a[lift] = up[k][a[lift]]
+        done = a == b
+        for k in range(up.shape[0] - 1, -1, -1):
+            step = ~done & (up[k][a] != up[k][b])
+            if step.any():
+                a[step] = up[k][a[step]]
+                b[step] = up[k][b[step]]
+        out = np.where(done, a, self.up[0][a])
+        return out
+
+    def subtree_mask(self, v: int) -> np.ndarray:
+        """Boolean membership mask (over vertex ids) of ``subtree(v)``."""
+        return (self.tin >= self.tin[v]) & (self.tin <= self.tout[v])
+
+
+def _subtree_sums(masses: np.ndarray, tin: np.ndarray, tout: np.ndarray) -> np.ndarray:
+    """Per-vertex subtree sums of Euler-position point masses."""
+    pre = np.concatenate(([0], np.cumsum(masses)))
+    return pre[tout + 1] - pre[tin]
+
+
+def evaluate_tree(
+    n: int,
+    us: np.ndarray,
+    vs: np.ndarray,
+    ws: np.ndarray,
+    parent: np.ndarray,
+    *,
+    compute_side: bool = True,
+) -> tuple[int, np.ndarray | None, int, int]:
+    """Best cut of ``G = (n, us/vs/ws)`` that 1- or 2-respects the tree.
+
+    Returns ``(best_value, best_side, one_respect_min, two_respect_min)``;
+    ``best_side`` is ``None`` when side tracking is off, and
+    ``two_respect_min`` may be a huge sentinel when no strict pair exists
+    (``n == 2``).  Exact for the given tree by exhaustion: every subtree
+    and every unordered pair of distinct subtrees is scored.
+    """
+    tree = RootedTree(parent)
+    tin, tout = tree.tin, tree.tout
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    ws = np.asarray(ws, dtype=np.int64)
+
+    # -- 1-respecting: all subtree cut values from one LCA batch ------------
+    lca = tree.lca(us, vs)
+    masses = np.zeros(n, dtype=np.int64)
+    np.add.at(masses, tin[us], ws)
+    np.add.at(masses, tin[vs], ws)
+    np.add.at(masses, tin[lca], -2 * ws)
+    cut1 = _subtree_sums(masses, tin, tout)
+    cut1[0] = _INF  # the root's "subtree" is V, not a cut
+    one_best_v = int(np.argmin(cut1))
+    one_min = int(cut1[one_best_v])
+
+    best_value = one_min
+    best_pair: tuple[int, int] | None = None
+
+    # -- 2-respecting: for each lower endpoint a, score every partner b -----
+    two_min = _INF
+    tin_us, tin_vs = tin[us], tin[vs]
+    for a in range(1, n):
+        ta, oa = tin[a], tout[a]
+        in_u = (tin_us >= ta) & (tin_us <= oa)
+        in_v = (tin_vs >= ta) & (tin_vs <= oa)
+        bnd = in_u != in_v
+        if not bnd.any():
+            continue
+        w_b = ws[bnd]
+        inside_pos = np.where(in_u[bnd], tin_us[bnd], tin_vs[bnd])
+        outside_pos = np.where(in_u[bnd], tin_vs[bnd], tin_us[bnd])
+        mass_out = np.zeros(n, dtype=np.int64)
+        np.add.at(mass_out, outside_pos, w_b)
+        mass_in = np.zeros(n, dtype=np.int64)
+        np.add.at(mass_in, inside_pos, w_b)
+        cross_disjoint = _subtree_sums(mass_out, tin, tout)
+        leave_nested = _subtree_sums(mass_in, tin, tout)
+        disjoint = (tout < ta) | (tin > oa)
+        nested = (tin > ta) & (tout <= oa)
+        cross = np.where(disjoint, cross_disjoint, leave_nested)
+        vals = cut1[a] + cut1 - 2 * cross
+        vals[~(disjoint | nested)] = _INF
+        b = int(np.argmin(vals))
+        v = int(vals[b])
+        if v < two_min:
+            two_min = v
+            if v < best_value:
+                best_value = v
+                best_pair = (a, b)
+
+    side: np.ndarray | None = None
+    if compute_side:
+        if best_pair is None:
+            side = tree.subtree_mask(one_best_v)
+        else:
+            a, b = best_pair
+            mask_a, mask_b = tree.subtree_mask(a), tree.subtree_mask(b)
+            if tin[b] > tout[a] or tout[b] < tin[a]:
+                side = mask_a | mask_b
+            else:
+                side = mask_a & ~mask_b
+    return best_value, side, one_min, two_min
